@@ -1,0 +1,72 @@
+//! Figure 2 + Table 1: RocksDB motivation analysis.
+//!
+//! A multi-threaded batched-random (`multireadrandom`) workload where the
+//! database roughly fits in memory, comparing `APPonly`,
+//! `APPonly[fincore]`, `OSonly`, and `CrossPrefetch` (the full
+//! `[+predict+opt]`). The run stays in the cold regime (touching a
+//! fraction of the DB), as the paper's 120 GB run does. Paper shape:
+//! throughput CrossP > OSonly > APPonly with fincore worst-or-equal;
+//! miss% APPonly(98) > fincore(92) > OSonly(84) > CrossP(64); lock%
+//! highest for the fincore strawman.
+
+use cp_bench::{banner, build_lsm, fmt_mbps, scale, LsmSetup, TablePrinter};
+use crossprefetch::Mode;
+
+struct Outcome {
+    kops: f64,
+    mbps: f64,
+    lock_pct: f64,
+    miss_pct: f64,
+}
+
+fn run(mode: Mode) -> Outcome {
+    let (os, bench) = build_lsm(mode, LsmSetup::default());
+    let wait0 = os.total_lock_wait_ns();
+    let threads = 32;
+    let result = bench.multiread_random(threads, 120 * scale(), 16, 0xF16_2);
+    let lock_wait = os.total_lock_wait_ns() - wait0;
+    // Lock % = aggregate wait across threads over aggregate busy time.
+    let lock_pct = 100.0 * lock_wait as f64 / (result.elapsed_ns as f64 * threads as f64);
+    Outcome {
+        kops: result.kops(),
+        mbps: result.mbps(),
+        lock_pct,
+        miss_pct: 100.0 * (1.0 - result.hit_ratio),
+    }
+}
+
+fn main() {
+    banner(
+        "Figure 2 + Table 1",
+        "RocksDB multireadrandom motivation (32 threads, DB fits in memory, cold)",
+        "throughput CrossP > OSonly > fincore ~ APPonly; miss% APPonly(98)>fincore(92)>OSonly(84)>CrossP(64); lock% fincore worst",
+    );
+    let mut table = TablePrinter::new(["mechanism", "kops/s", "MB/s", "lock %", "miss %"]);
+    let modes = [
+        Mode::AppOnly,
+        Mode::FincoreApp,
+        Mode::OsOnly,
+        Mode::PredictOpt,
+    ];
+    let mut results = Vec::new();
+    for mode in modes {
+        let out = run(mode);
+        table.row([
+            mode.label().to_string(),
+            format!("{:.0}", out.kops),
+            fmt_mbps(out.mbps),
+            format!("{:.1}", out.lock_pct),
+            format!("{:.1}", out.miss_pct),
+        ]);
+        results.push((mode, out));
+    }
+    table.print();
+
+    let get = |m: Mode| results.iter().find(|(mm, _)| *mm == m).unwrap().1.kops;
+    println!();
+    println!(
+        "CrossPrefetch vs APPonly: {:.2}x   vs OSonly: {:.2}x",
+        get(Mode::PredictOpt) / get(Mode::AppOnly),
+        get(Mode::PredictOpt) / get(Mode::OsOnly),
+    );
+}

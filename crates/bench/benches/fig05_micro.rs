@@ -1,0 +1,72 @@
+//! Figure 5 + Table 3: the microbenchmark grid.
+//!
+//! Private/shared files × sequential/batched-random 16 KiB reads, dataset
+//! ~2.15x the memory budget, across the five Table 2 mechanisms. The paper
+//! reports `[+predict+opt]` at 1.81x (shared) and 1.97x (private) over
+//! `APPonly` on random access, `[+fetchall+opt]` at ~1.54x despite cache
+//! pollution, and Table 3's shared-file miss percentages
+//! (rand: 93/89/69/75/91; seq: 19/18/17/14/6).
+
+use cp_bench::{banner, boot, fmt_mbps, runtime, scale, TablePrinter};
+use crossprefetch::Mode;
+use std::sync::Arc;
+use workloads::{run_micro, setup_micro, MicroConfig, MicroPattern};
+
+fn run(mode: Mode, shared: bool, pattern: MicroPattern) -> (f64, f64) {
+    // Paper: 200 GB data / 93 GB memory (2.15x). Scaled: 138 MB / 64 MB.
+    let os = boot(64);
+    let rt = runtime(Arc::clone(&os), mode);
+    let cfg = MicroConfig {
+        threads: 8,
+        data_bytes: 138 << 20,
+        io_bytes: 16 * 1024,
+        ops_per_thread: 1200 * scale(),
+        shared,
+        pattern,
+        seed: 0x515,
+    };
+    setup_micro(&rt, &cfg);
+    let result = run_micro(&rt, &cfg);
+    (result.mbps(), result.miss_pct)
+}
+
+fn main() {
+    banner(
+        "Figure 5 + Table 3",
+        "microbenchmark: private/shared x seq/rand, data 2.15x memory, 8 threads",
+        "rand: predict+opt ~1.8-2.0x APPonly; fetchall helps but pollutes (Table 3 shared-rand miss 91% vs 69-75%)",
+    );
+    let grid = [
+        ("private-seq", false, MicroPattern::Sequential),
+        (
+            "private-rand",
+            false,
+            MicroPattern::BatchedRandom { batch: 8 },
+        ),
+        ("shared-seq", true, MicroPattern::Sequential),
+        (
+            "shared-rand",
+            true,
+            MicroPattern::BatchedRandom { batch: 8 },
+        ),
+    ];
+    for (name, shared, pattern) in grid {
+        println!("--- {name} ---");
+        let mut table = TablePrinter::new(["mechanism", "MB/s", "miss %", "vs APPonly"]);
+        let mut app_base = None;
+        for mode in Mode::table2() {
+            let (mbps, miss) = run(mode, shared, pattern);
+            if mode == Mode::AppOnly {
+                app_base = Some(mbps);
+            }
+            table.row([
+                mode.label().to_string(),
+                fmt_mbps(mbps),
+                format!("{miss:.0}"),
+                format!("{:.2}x", mbps / app_base.unwrap_or(mbps)),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}

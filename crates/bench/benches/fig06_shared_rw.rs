@@ -1,0 +1,48 @@
+//! Figure 6: shared-file reader/writer scaling.
+//!
+//! Four writers plus a growing number of readers randomly accessing
+//! non-overlapping ranges of one large shared file; the paper reports
+//! aggregated write throughput. `APPonly`/`OSonly` flatten on the global
+//! cache-tree reader-writer lock, `[+fetchall+opt]` flattens on the single
+//! per-file bitmap lock plus memory shortfall, while `[+predict+opt]`
+//! scales thanks to the range tree's per-node locks.
+
+use cp_bench::{banner, boot, fmt_mbps, runtime, scale, TablePrinter};
+use crossprefetch::Mode;
+use std::sync::Arc;
+use workloads::run_shared_rw;
+
+fn main() {
+    banner(
+        "Figure 6",
+        "shared file: 4 writers + reader sweep, write throughput",
+        "APPonly/OSonly flatten (tree lock); fetchall flattens (bitmap lock); predict+opt scales",
+    );
+    let readers_sweep = [4usize, 8, 16, 24, 32];
+    let modes = [
+        Mode::AppOnly,
+        Mode::OsOnly,
+        Mode::FetchAllOpt,
+        Mode::PredictOpt,
+    ];
+    let mut table = TablePrinter::new([
+        "readers",
+        "APPonly",
+        "OSonly",
+        "fetchall+opt",
+        "predict+opt",
+    ]);
+    for readers in readers_sweep {
+        let mut cells = vec![readers.to_string()];
+        for mode in modes {
+            // Paper: 128 GB file. Scaled: 192 MB file / 64 MB memory.
+            let os = boot(64);
+            let rt = runtime(Arc::clone(&os), mode);
+            let (write_result, _read) =
+                run_shared_rw(&rt, readers, 4, 192 << 20, 600 * scale(), 0xF16_6);
+            cells.push(fmt_mbps(write_result.mbps()));
+        }
+        table.row(cells);
+    }
+    table.print();
+}

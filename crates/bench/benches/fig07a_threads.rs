@@ -1,0 +1,39 @@
+//! Figure 7a: db_bench multireadrandom throughput vs thread count.
+//!
+//! The paper varies application threads for the batched-random workload;
+//! gains over the baselines grow with thread count as threads benefit
+//! from the shared cache state, reaching ~1.39x over APPonly and ~1.22x
+//! over OSonly at 32 threads for `[+predict]`/`[+predict+opt]`.
+
+use cp_bench::{banner, build_lsm, scale, LsmSetup, TablePrinter};
+use crossprefetch::Mode;
+
+fn main() {
+    banner(
+        "Figure 7a",
+        "db_bench multireadrandom vs thread count",
+        "gains grow with threads; predict ~1.39x APPonly / ~1.22x OSonly at 32 threads",
+    );
+    let threads_sweep = [1usize, 4, 8, 16, 32];
+    let modes = Mode::table2();
+    let mut table = TablePrinter::new([
+        "threads",
+        "APPonly",
+        "OSonly",
+        "+predict",
+        "+predict+opt",
+        "+fetchall+opt",
+    ]);
+    for threads in threads_sweep {
+        let mut cells = vec![threads.to_string()];
+        for mode in modes {
+            let (_os, bench) = build_lsm(mode, LsmSetup::default());
+            let batches = 120 * scale();
+            let result = bench.multiread_random(threads, batches.max(4), 16, 0x7A);
+            cells.push(format!("{:.0}", result.kops()));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("(kops/s; each cell is a fresh cold-start database)");
+}

@@ -1,0 +1,18 @@
+//! Figure 7b: db_bench access patterns on ext4 (32 threads).
+//!
+//! readseq, readrandom, multireadrandom, readreverse, and
+//! readwhilescanning across the five mechanisms. Headline paper results:
+//! OSonly beats APPonly on readseq; `[+predict+opt]` reaches ~3.7x on
+//! readreverse (forward-only OS readahead can't help a backward stream);
+//! `[+fetchall+opt]`/`[+predict]` shine on readwhilescanning.
+
+use simos::{DeviceConfig, FsKind};
+
+fn main() {
+    cp_bench::run_patterns(
+        DeviceConfig::local_nvme(),
+        FsKind::Ext4Like,
+        "Figure 7b",
+        "OSonly > APPonly on readseq; predict+opt ~3.7x on readreverse; CrossP wins everywhere but seq parity",
+    );
+}

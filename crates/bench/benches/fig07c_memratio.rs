@@ -1,0 +1,46 @@
+//! Figure 7c: sensitivity to the memory:database ratio.
+//!
+//! The database size is fixed and the memory budget sweeps 1:6 → 1:1.
+//! Paper shape: OSonly underperforms when memory is constrained; APPonly
+//! beats OSonly at low memory (no wasted prefetch); `[+fetchall+opt]`
+//! falls back to baseline level without aggressive eviction; and
+//! `[+predict+opt]` stays on top via aggressive prefetch *and* eviction.
+
+use cp_bench::{banner, build_lsm, scale, LsmSetup, TablePrinter};
+use crossprefetch::Mode;
+
+fn main() {
+    banner(
+        "Figure 7c",
+        "db_bench multireadrandom vs memory:DB ratio (32 threads)",
+        "OSonly worst when constrained; fetchall ~ baselines at low mem; predict+opt best throughout",
+    );
+    // DB ~440 MB (100k x 4 KiB + metadata); sweep memory accordingly.
+    let db_mb = 880 * scale();
+    let ratios = [(1u64, 6u64), (1, 4), (1, 2), (1, 1)];
+    let modes = Mode::table2();
+    let mut table = TablePrinter::new([
+        "mem:DB",
+        "APPonly",
+        "OSonly",
+        "+predict",
+        "+predict+opt",
+        "+fetchall+opt",
+    ]);
+    for (num, den) in ratios {
+        let memory_mb = (db_mb * num / den).max(16);
+        let mut cells = vec![format!("1:{den}")];
+        for mode in modes {
+            let setup = LsmSetup {
+                memory_mb,
+                ..LsmSetup::default()
+            };
+            let (_os, bench) = build_lsm(mode, setup);
+            let result = bench.multiread_random(32, 120 * scale(), 16, 0x7C);
+            cells.push(format!("{:.0}", result.kops()));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("(kops/s)");
+}

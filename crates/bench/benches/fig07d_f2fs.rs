@@ -1,0 +1,16 @@
+//! Figure 7d: db_bench access patterns on the F2FS-like filesystem.
+//!
+//! Same grid as Figure 7b but over the log-structured allocator, whose
+//! interleaved-writer fragmentation changes absolute numbers while the
+//! mechanism ordering — including the large reverse-read gain — holds.
+
+use simos::{DeviceConfig, FsKind};
+
+fn main() {
+    cp_bench::run_patterns(
+        DeviceConfig::local_nvme(),
+        FsKind::F2fsLike,
+        "Figure 7d",
+        "same ordering as Fig 7b on F2FS, incl. large readreverse gain",
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 8a: db_bench access patterns on remote NVMe-oF storage.
+//!
+//! Every request pays an RDMA round trip, so per-request amortization
+//! matters even more than locally; the paper reports CrossPrefetch ahead
+//! everywhere except sequential reads, with reverse reads up to ~5.68x.
+
+use simos::{DeviceConfig, FsKind};
+
+fn main() {
+    cp_bench::run_patterns(
+        DeviceConfig::remote_nvmeof(),
+        FsKind::Ext4Like,
+        "Figure 8a",
+        "CrossP wins except seqread; readreverse up to ~5.7x on remote storage",
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 8b: multi-instance Filebench macrobenchmarks.
+//!
+//! Sixteen instances per personality share one machine. Paper shape:
+//! `[+predict+opt]` is best across personalities; for `videoserve` it
+//! beats `[+fetchall+opt]` by ~55% because fetchall's whole-file loads
+//! pollute the shared cache.
+
+use cp_bench::{banner, boot, fmt_mbps, scale, TablePrinter};
+use crossprefetch::Mode;
+use workloads::{run_filebench, FilebenchConfig, Personality};
+
+fn main() {
+    banner(
+        "Figure 8b",
+        "Filebench: 16 instances x {seqread, randread, mongodb, videoserve}",
+        "predict+opt best; videoserve: predict+opt ~1.55x fetchall (cache pollution)",
+    );
+    let modes = Mode::table2();
+    let mut table = TablePrinter::new([
+        "personality",
+        "APPonly",
+        "OSonly",
+        "+predict",
+        "+predict+opt",
+        "+fetchall+opt",
+    ]);
+    for personality in Personality::all() {
+        let mut cells = vec![personality.label().to_string()];
+        for mode in modes {
+            let os = boot(96);
+            let cfg = FilebenchConfig {
+                personality,
+                instances: 16,
+                bytes_per_instance: 24 << 20,
+                ops_per_instance: 160 * scale(),
+                mode,
+                seed: 0x8B,
+            };
+            let result = run_filebench(&os, &cfg);
+            cells.push(fmt_mbps(result.mbps()));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("(aggregate MB/s across 16 instances)");
+}

@@ -1,0 +1,61 @@
+//! Figure 9a: YCSB workloads A–F (16 threads, zipfian, 4 KiB values).
+//!
+//! Paper shape: A is write-dominated and roughly flat across mechanisms;
+//! read-heavy B/C/D gain from concurrent prefetch-beside-read, with
+//! `[+predict+opt]` beating `[+fetchall+opt]` via fine-grained windows;
+//! scan-heavy E doubles for both CrossPrefetch variants; F (50% RMW)
+//! accelerates the read half.
+
+use cp_bench::{banner, boot, runtime, scale, TablePrinter};
+use crossprefetch::Mode;
+use minilsm::{Db, DbBench, DbOptions};
+use std::sync::Arc;
+use workloads::{run_ycsb, YcsbConfig, YcsbWorkload};
+
+fn main() {
+    banner(
+        "Figure 9a",
+        "YCSB A-F, 16 threads, zipfian, 4 KiB values",
+        "A flat; B/C/D gain; E ~2x for both CrossP variants; F gains on the read half",
+    );
+    let modes = Mode::table2();
+    let mut table = TablePrinter::new([
+        "workload",
+        "APPonly",
+        "OSonly",
+        "+predict",
+        "+predict+opt",
+        "+fetchall+opt",
+    ]);
+    for workload in YcsbWorkload::all() {
+        let mut cells = vec![format!("YCSB-{}", workload.label())];
+        for mode in modes {
+            let os = boot(64);
+            let rt = runtime(Arc::clone(&os), mode);
+            let mut clock = rt.new_clock();
+            let db = Db::create(rt.clone(), &mut clock, DbOptions::default());
+            let keys = 24_000 * scale();
+            let bench = DbBench::new(Arc::clone(&db), keys, 4096);
+            bench.fill_seq(); // the YCSB warm-up (load) phase
+            let mut c = os.new_clock();
+            os.drop_caches(&mut c);
+            rt.drop_cache_view(&mut c);
+
+            let cfg = YcsbConfig {
+                workload,
+                threads: 16,
+                ops_per_thread: 120 * scale(),
+                keys,
+                value_bytes: 4096,
+                theta: 0.99,
+                scan_len: 50,
+                seed: 0x9A,
+            };
+            let result = run_ycsb(&db, &cfg);
+            cells.push(format!("{:.1}", result.kops()));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("(kops/s, run phase only)");
+}

@@ -1,0 +1,73 @@
+//! Table 5: breakdown of CrossPrefetch's incremental gains.
+//!
+//! 32-thread multireadrandom, staging the features one at a time:
+//! APPonly → OSonly → +cache visibility → +range tree → +aggressive
+//! prefetch. The paper reports 1688 / 1834 / 2143 / 2379 / 2642 kops/s —
+//! a strictly increasing ladder.
+
+use cp_bench::{banner, build_lsm, scale, LsmSetup, TablePrinter};
+use crossprefetch::{Features, Mode, RuntimeConfig};
+
+fn run(label: &str, mode: Mode, features: Option<Features>) -> (String, f64) {
+    // Same workload as Figure 2, with the runtime's feature set staged.
+    let setup = LsmSetup::default();
+    let (os, bench) = if let Some(features) = features {
+        // build_lsm with a feature override: rebuild by hand.
+        let os = cp_bench::boot(setup.memory_mb);
+        let mut config = RuntimeConfig::new(mode);
+        config.features = Some(features);
+        let rt = crossprefetch::Runtime::new(std::sync::Arc::clone(&os), config);
+        let mut clock = rt.new_clock();
+        let db = minilsm::Db::create(rt.clone(), &mut clock, minilsm::DbOptions::default());
+        let bench = minilsm::DbBench::new(db, setup.keys, setup.value_bytes);
+        bench.fill_seq();
+        let mut c = os.new_clock();
+        os.drop_caches(&mut c);
+        rt.drop_cache_view(&mut c);
+        (os, bench)
+    } else {
+        build_lsm(mode, setup)
+    };
+    let _ = os;
+    let result = bench.multiread_random(32, 120 * scale(), 16, 0x7A5);
+    (label.to_string(), result.kops())
+}
+
+fn main() {
+    banner(
+        "Table 5",
+        "incremental breakdown, multireadrandom, 32 threads",
+        "monotone ladder: APPonly < OSonly < +visibility < +range tree < +aggressive (paper: 1688/1834/2143/2379/2642 kops/s)",
+    );
+    let visibility = Features {
+        predict: true,
+        visibility: true,
+        ..Features::passthrough()
+    };
+    let with_tree = Features {
+        range_tree: true,
+        ..visibility
+    };
+    let with_aggr = Features {
+        relax_limits: true,
+        aggressive: true,
+        ..with_tree
+    };
+    let stages = [
+        run("APPonly", Mode::AppOnly, None),
+        run("OSonly", Mode::OsOnly, None),
+        run("+cache visibility", Mode::PredictOpt, Some(visibility)),
+        run("+range tree", Mode::PredictOpt, Some(with_tree)),
+        run("+aggr. prefetch", Mode::PredictOpt, Some(with_aggr)),
+    ];
+    let mut table = TablePrinter::new(["stage", "kops/s", "vs APPonly"]);
+    let base = stages[0].1;
+    for (label, kops) in &stages {
+        table.row([
+            label.clone(),
+            format!("{kops:.0}"),
+            format!("{:.2}x", kops / base),
+        ]);
+    }
+    table.print();
+}

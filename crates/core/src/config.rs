@@ -1,0 +1,229 @@
+//! Runtime modes, feature staging, and tunables.
+
+use simos::PAGE_SIZE;
+
+/// The comparison mechanisms of the paper's Table 2 (plus the Figure 2
+/// fincore strawman).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Application-tailored prefetching via `readahead`/`fadvise`; the
+    /// runtime is a pass-through and the workload drives policy.
+    AppOnly,
+    /// Prefetching fully delegated to the OS heuristic readahead.
+    OsOnly,
+    /// Cross-layered prediction through `readahead_info`, still subject to
+    /// the OS prefetch limits (`CrossP[+predict]`).
+    Predict,
+    /// `CrossP[+predict+opt]`: prediction plus relaxed OS limits and
+    /// memory-budget-aware aggressive prefetching and eviction.
+    PredictOpt,
+    /// `CrossP[+fetchall+opt]`: cache-state-aware whole-file prefetch at
+    /// open; memory-insensitive (no adaptive eviction).
+    FetchAllOpt,
+    /// `APPonly[fincore]` (Figure 2): a background poller builds cache
+    /// awareness with `fincore` and issues `readahead` calls.
+    FincoreApp,
+}
+
+/// Individual capabilities, for the Table 5 incremental breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// Intercept I/O and run the access-pattern predictor.
+    pub predict: bool,
+    /// Use `readahead_info` + exported bitmaps (cache visibility).
+    pub visibility: bool,
+    /// Per-node range-tree locking (off = one whole-file bitmap lock).
+    pub range_tree: bool,
+    /// Relax the OS prefetch limit via the `readahead_info` override.
+    pub relax_limits: bool,
+    /// Memory-budget aggressive prefetching and eviction.
+    pub aggressive: bool,
+    /// Prefetch entire files at open.
+    pub fetchall: bool,
+    /// Background fincore polling (the Figure 2 strawman).
+    pub fincore_poll: bool,
+}
+
+impl Features {
+    /// No runtime involvement at all.
+    pub const fn passthrough() -> Self {
+        Self {
+            predict: false,
+            visibility: false,
+            range_tree: false,
+            relax_limits: false,
+            aggressive: false,
+            fetchall: false,
+            fincore_poll: false,
+        }
+    }
+
+    /// Whether the runtime intercepts I/O (any CROSS-LIB machinery on).
+    pub fn intercepting(&self) -> bool {
+        self.predict || self.visibility || self.fetchall || self.fincore_poll
+    }
+}
+
+impl Mode {
+    /// The feature bundle this mode enables.
+    pub fn features(self) -> Features {
+        match self {
+            Mode::AppOnly | Mode::OsOnly => Features::passthrough(),
+            Mode::Predict => Features {
+                predict: true,
+                visibility: true,
+                range_tree: true,
+                ..Features::passthrough()
+            },
+            Mode::PredictOpt => Features {
+                predict: true,
+                visibility: true,
+                range_tree: true,
+                relax_limits: true,
+                aggressive: true,
+                ..Features::passthrough()
+            },
+            Mode::FetchAllOpt => Features {
+                visibility: true,
+                relax_limits: true,
+                fetchall: true,
+                ..Features::passthrough()
+            },
+            Mode::FincoreApp => Features {
+                fincore_poll: true,
+                ..Features::passthrough()
+            },
+        }
+    }
+
+    /// Short label used in bench output tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::AppOnly => "APPonly",
+            Mode::OsOnly => "OSonly",
+            Mode::Predict => "CrossP[+predict]",
+            Mode::PredictOpt => "CrossP[+predict+opt]",
+            Mode::FetchAllOpt => "CrossP[+fetchall+opt]",
+            Mode::FincoreApp => "APPonly[fincore]",
+        }
+    }
+
+    /// All Table 2 mechanisms, in the paper's presentation order.
+    pub fn table2() -> [Mode; 5] {
+        [
+            Mode::AppOnly,
+            Mode::OsOnly,
+            Mode::Predict,
+            Mode::PredictOpt,
+            Mode::FetchAllOpt,
+        ]
+    }
+}
+
+/// CROSS-LIB tunables (the artifact's `compiler.sh` knobs).
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Mechanism to run.
+    pub mode: Mode,
+    /// Explicit feature overrides (None = derive from `mode`). Used by the
+    /// Table 5 breakdown.
+    pub features: Option<Features>,
+    /// Predictor counter width in bits (`CROSS_BITMAP_SHIFT` analogue).
+    pub predictor_bits: u32,
+    /// Optimistic prefetch at open, bytes (§4.6 default 2 MiB).
+    pub open_prefetch_bytes: u64,
+    /// Ceiling for one relaxed prefetch request, pages (§4.7: 64 MiB).
+    pub max_prefetch_pages: u64,
+    /// Background prefetcher threads (`NR_WORKERS_VAR`).
+    pub workers: usize,
+    /// Stop *aggressive* growth when free memory drops below this fraction
+    /// of the budget.
+    pub aggressive_floor: f64,
+    /// Stop *all* prefetching below this fraction of free memory.
+    pub prefetch_floor: f64,
+    /// Begin evicting when free memory drops below this fraction.
+    pub evict_trigger: f64,
+    /// Evict until free memory reaches this fraction.
+    pub evict_target: f64,
+    /// Minimum idle time (virtual ns) before the memory watcher may evict
+    /// a file — protects files other threads are actively streaming.
+    pub evict_min_idle_ns: u64,
+    /// Issue a fincore poll every N reads (FincoreApp mode).
+    pub fincore_poll_interval: u64,
+}
+
+impl RuntimeConfig {
+    /// Paper-default configuration for a mechanism.
+    pub fn new(mode: Mode) -> Self {
+        Self {
+            mode,
+            features: None,
+            predictor_bits: 3,
+            open_prefetch_bytes: 2 << 20,
+            max_prefetch_pages: (64 << 20) / PAGE_SIZE,
+            workers: 2,
+            aggressive_floor: 0.15,
+            prefetch_floor: 0.05,
+            evict_trigger: 0.10,
+            evict_target: 0.25,
+            evict_min_idle_ns: 100 * simclock::NS_PER_MS,
+            fincore_poll_interval: 32,
+        }
+    }
+
+    /// Effective feature set.
+    pub fn effective_features(&self) -> Features {
+        self.features.unwrap_or_else(|| self.mode.features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_modes_do_not_intercept() {
+        assert!(!Mode::AppOnly.features().intercepting());
+        assert!(!Mode::OsOnly.features().intercepting());
+        assert!(Mode::Predict.features().intercepting());
+        assert!(Mode::FetchAllOpt.features().intercepting());
+        assert!(Mode::FincoreApp.features().intercepting());
+    }
+
+    #[test]
+    fn predict_opt_is_predict_plus_opt() {
+        let p = Mode::Predict.features();
+        let po = Mode::PredictOpt.features();
+        assert!(!p.relax_limits && !p.aggressive);
+        assert!(po.relax_limits && po.aggressive);
+        assert!(p.predict && po.predict && p.range_tree && po.range_tree);
+    }
+
+    #[test]
+    fn fetchall_has_no_range_tree() {
+        let f = Mode::FetchAllOpt.features();
+        assert!(f.fetchall && f.visibility && !f.range_tree && !f.predict);
+    }
+
+    #[test]
+    fn feature_override_wins() {
+        let mut config = RuntimeConfig::new(Mode::PredictOpt);
+        config.features = Some(Features::passthrough());
+        assert!(!config.effective_features().intercepting());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Mode::table2().iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn default_limits_match_paper() {
+        let config = RuntimeConfig::new(Mode::PredictOpt);
+        assert_eq!(config.open_prefetch_bytes, 2 << 20);
+        assert_eq!(config.max_prefetch_pages * PAGE_SIZE, 64 << 20);
+        assert_eq!(config.predictor_bits, 3);
+    }
+}

@@ -1,0 +1,902 @@
+//! The CROSS-LIB runtime: interception shim, prefetch orchestration,
+//! memory-budget policies.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use simclock::ThreadClock;
+use simos::{Advice, Fd, FsError, InodeId, MmapOutcome, Os, RaInfoRequest, ReadOutcome, PAGE_SIZE};
+
+use crate::config::{Features, Mode, RuntimeConfig};
+use crate::predictor::Predictor;
+use crate::range_tree::{LockScope, RangeTree};
+use crate::stats::LibStats;
+use crate::worker::WorkerPool;
+
+/// Per-file (per-inode) runtime state, shared by every descriptor opened on
+/// the file — the userspace mirror of the kernel's per-inode bitmap.
+#[derive(Debug)]
+pub struct LibFile {
+    /// The file's inode.
+    pub ino: InodeId,
+    /// A descriptor the runtime owns for issuing prefetch/advice calls.
+    prefetch_fd: Fd,
+    /// User-level cache view with per-node locking.
+    tree: RangeTree,
+    /// Virtual time of the most recent application access.
+    last_access_ns: AtomicU64,
+    /// Reads since the last fincore poll (FincoreApp mode).
+    reads_since_poll: AtomicU64,
+    /// Pages the user-level view claimed cached but the OS missed —
+    /// evidence that the imported bitmap has gone stale (e.g. the OS LRU
+    /// reclaimed behind CROSS-LIB's back, §4.4's freshness challenge).
+    stale_pages: AtomicU64,
+    /// Whether a whole-file fetch was already scheduled (FetchAll mode) —
+    /// concurrent opens of a shared file must not stack redundant streams.
+    fetchall_scheduled: std::sync::atomic::AtomicBool,
+    /// Reads since the last whole-file refetch round (FetchAll mode):
+    /// Table 2 describes `[+fetchall+opt]` as *monitoring* missing blocks
+    /// via the exported bitmaps and prefetching them — a continuous
+    /// policy, re-run periodically, not a one-shot open-time stream.
+    reads_since_refetch: AtomicU64,
+    /// Circular cursor for FetchAll refetch rounds.
+    refetch_cursor: AtomicU64,
+}
+
+/// Reads between whole-file refetch rounds in FetchAll mode.
+const FETCHALL_REFRESH_READS: u64 = 256;
+
+/// Unexpected-miss pages tolerated before the user-level cache view is
+/// discarded and re-imported from the OS.
+const STALE_RESYNC_PAGES: u64 = 128;
+
+/// An open file handle through CROSS-LIB — the shim's `FILE*` analogue.
+///
+/// Each handle carries its own access-pattern [`Predictor`] (§4.6's
+/// per-file-descriptor prefetching), while the cache view ([`LibFile`]) is
+/// shared across handles to the same file.
+#[derive(Debug)]
+pub struct CpFile {
+    runtime: Runtime,
+    fd: Fd,
+    file: Arc<LibFile>,
+    predictor: Mutex<Predictor>,
+    /// Pages prefetched ahead of (forward) or behind (backward) the stream
+    /// through this descriptor — the async-marker analogue that paces
+    /// window growth by consumption instead of by access count.
+    fwd_frontier: AtomicU64,
+    back_frontier: AtomicU64,
+    /// Current prefetch window for this descriptor, in pages.
+    window_pages: AtomicU64,
+    /// Whether mapped access restored fault-around already.
+    mmap_touched: std::sync::atomic::AtomicBool,
+}
+
+/// The CROSS-LIB runtime. Cheap to clone; all clones share state.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    inner: Arc<RuntimeInner>,
+}
+
+#[derive(Debug)]
+struct RuntimeInner {
+    os: Arc<Os>,
+    config: RuntimeConfig,
+    features: Features,
+    files: RwLock<HashMap<InodeId, Arc<LibFile>>>,
+    workers: WorkerPool,
+    stats: LibStats,
+    /// Last time (virtual ns) the memory watcher scanned candidates —
+    /// bounds the eviction scan to once per watcher interval.
+    last_evict_scan_ns: AtomicU64,
+    /// OS eviction count at the last pressure sample.
+    last_evicted_pages: AtomicU64,
+    /// Aggressive growth is paused until this virtual time — set whenever
+    /// reclaim activity is observed. The paper pauses aggressiveness below
+    /// a free-memory threshold; with a steady-state-full clean cache, the
+    /// observable signal for "no headroom" is reclaim running.
+    aggressive_pause_until: AtomicU64,
+}
+
+impl Runtime {
+    /// Attaches a runtime in the given mechanism mode to an OS.
+    pub fn new(os: Arc<Os>, config: RuntimeConfig) -> Self {
+        let features = config.effective_features();
+        let workers = WorkerPool::new(config.workers.max(1), Arc::clone(os.global()));
+        Self {
+            inner: Arc::new(RuntimeInner {
+                os,
+                config,
+                features,
+                files: RwLock::new(HashMap::new()),
+                workers,
+                stats: LibStats::default(),
+                last_evict_scan_ns: AtomicU64::new(0),
+                last_evicted_pages: AtomicU64::new(0),
+                aggressive_pause_until: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Convenience: a runtime with paper defaults for `mode`.
+    pub fn with_mode(os: Arc<Os>, mode: Mode) -> Self {
+        Self::new(os, RuntimeConfig::new(mode))
+    }
+
+    /// The underlying OS.
+    pub fn os(&self) -> &Arc<Os> {
+        &self.inner.os
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.inner.config
+    }
+
+    /// The effective feature set.
+    pub fn features(&self) -> Features {
+        self.inner.features
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &LibStats {
+        &self.inner.stats
+    }
+
+    /// Worker-pool telemetry.
+    pub fn workers(&self) -> &WorkerPool {
+        &self.inner.workers
+    }
+
+    /// A fresh worker clock attached to the OS global clock.
+    pub fn new_clock(&self) -> ThreadClock {
+        self.inner.os.new_clock()
+    }
+
+    fn scope(&self) -> LockScope {
+        if self.inner.features.range_tree {
+            LockScope::PerNode
+        } else {
+            LockScope::WholeFile
+        }
+    }
+
+    fn lib_file(&self, ino: InodeId, fd: Fd) -> Arc<LibFile> {
+        {
+            let files = self.inner.files.read();
+            if let Some(file) = files.get(&ino) {
+                return Arc::clone(file);
+            }
+        }
+        let mut files = self.inner.files.write();
+        Arc::clone(files.entry(ino).or_insert_with(|| {
+            Arc::new(LibFile {
+                ino,
+                prefetch_fd: fd,
+                tree: RangeTree::new(),
+                last_access_ns: AtomicU64::new(0),
+                reads_since_poll: AtomicU64::new(0),
+                stale_pages: AtomicU64::new(0),
+                fetchall_scheduled: std::sync::atomic::AtomicBool::new(false),
+                reads_since_refetch: AtomicU64::new(0),
+                refetch_cursor: AtomicU64::new(0),
+            })
+        }))
+    }
+
+    // ----- open -------------------------------------------------------------
+
+    /// Opens an existing file through the shim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::NotFound`].
+    pub fn open(&self, clock: &mut ThreadClock, path: &str) -> Result<CpFile, FsError> {
+        let fd = self.inner.os.open(clock, path)?;
+        Ok(self.wrap_fd(clock, fd))
+    }
+
+    /// Creates an empty file through the shim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::AlreadyExists`].
+    pub fn create(&self, clock: &mut ThreadClock, path: &str) -> Result<CpFile, FsError> {
+        let fd = self.inner.os.create(clock, path)?;
+        Ok(self.wrap_fd(clock, fd))
+    }
+
+    /// Creates a file with preallocated size through the shim.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::AlreadyExists`].
+    pub fn create_sized(
+        &self,
+        clock: &mut ThreadClock,
+        path: &str,
+        bytes: u64,
+    ) -> Result<CpFile, FsError> {
+        let fd = self.inner.os.create_sized(clock, path, bytes)?;
+        Ok(self.wrap_fd(clock, fd))
+    }
+
+    fn wrap_fd(&self, clock: &mut ThreadClock, fd: Fd) -> CpFile {
+        let ino = self.inner.os.fd_inode(fd);
+        let file = self.lib_file(ino, fd);
+        let features = self.inner.features;
+
+        if features.intercepting() && !features.fincore_poll {
+            // CROSS-LIB owns prefetching: silence the OS heuristic so the
+            // two layers do not double-prefetch.
+            self.inner.os.fadvise(clock, fd, Advice::Random, 0, 0);
+        }
+
+        if features.fetchall {
+            // [+fetchall+opt]: schedule the whole file at the *first* open;
+            // concurrent opens of a shared file reuse the same stream.
+            if !file.fetchall_scheduled.swap(true, Ordering::Relaxed) {
+                let pages = self.inner.os.fs().size(ino).div_ceil(PAGE_SIZE);
+                self.prefetch_pages(clock, &file, 0, pages, /* respect_floors = */ false);
+            }
+        } else if features.aggressive {
+            // §4.6: optimistic 2 MiB at open, memory permitting.
+            let pages = self.inner.config.open_prefetch_bytes / PAGE_SIZE;
+            self.prefetch_pages(clock, &file, 0, pages, true);
+        }
+
+        CpFile {
+            runtime: self.clone(),
+            fd,
+            file,
+            predictor: Mutex::new(Predictor::new(self.inner.config.predictor_bits)),
+            fwd_frontier: AtomicU64::new(0),
+            back_frontier: AtomicU64::new(u64::MAX),
+            window_pages: AtomicU64::new(0),
+            mmap_touched: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    // ----- prefetch orchestration --------------------------------------------
+
+    fn free_fraction(&self) -> f64 {
+        let mem = self.inner.os.mem();
+        mem.free_pages() as f64 / mem.budget().max(1) as f64
+    }
+
+    /// Fraction of the budget that is free *or reclaimable* (clean cached
+    /// pages). A steady-state page cache is always "full" of clean pages;
+    /// those are available to prefetching — only dirty data is not.
+    fn available_fraction(&self) -> f64 {
+        let mem = self.inner.os.mem();
+        let unavailable = mem.dirty();
+        1.0 - (unavailable as f64 / mem.budget().max(1) as f64)
+    }
+
+    /// Whether aggressive window growth is currently allowed: requires
+    /// clean-memory headroom *and* no recent reclaim activity (memory
+    /// pressure pauses aggressiveness for a grace interval — §4.6's
+    /// high-watermark behaviour under a steady-state-full cache).
+    fn aggressive_allowed(&self, now: u64) -> bool {
+        let inner = &self.inner;
+        if self.available_fraction() <= inner.config.aggressive_floor {
+            return false;
+        }
+        let evicted = inner.os.mem().evicted.get();
+        let last = inner.last_evicted_pages.swap(evicted, Ordering::Relaxed);
+        if evicted > last && last > 0 {
+            inner
+                .aggressive_pause_until
+                .fetch_max(now + 50 * simclock::NS_PER_MS, Ordering::Relaxed);
+        }
+        now >= inner.aggressive_pause_until.load(Ordering::Relaxed)
+    }
+
+    /// Schedules a prefetch of `[from, from + want)` pages of `file`.
+    ///
+    /// The calling thread pays only the user-level bitmap check and an
+    /// enqueue; issuing (syscalls, bitmap locks, device) happens on the
+    /// worker pool's virtual time. Returns the page index the schedule
+    /// actually reached (`from` when nothing was scheduled), so pacing
+    /// frontiers reflect the memory-clamped reality.
+    fn prefetch_pages(
+        &self,
+        clock: &mut ThreadClock,
+        file: &Arc<LibFile>,
+        from: u64,
+        want: u64,
+        respect_floors: bool,
+    ) -> u64 {
+        let inner = &self.inner;
+        let costs = &inner.os.config().costs;
+        let file_pages = inner.os.fs().size(file.ino).div_ceil(PAGE_SIZE);
+        let end = (from + want).min(file_pages);
+        if from >= end {
+            return from;
+        }
+        if respect_floors && self.available_fraction() < inner.config.prefetch_floor {
+            return from;
+        }
+        // Memory-budget clamp: one prefetch may claim at most half the
+        // truly-free headroom, but never less than budget/32 — a full
+        // cache of *clean* pages is reclaimable, so modest windows stay
+        // productive while no single call can blow the whole budget.
+        let end = if respect_floors {
+            let mem = inner.os.mem();
+            let headroom = (mem.free_pages() / 2).max(mem.budget() / 32).max(1);
+            from + (end - from).min(headroom)
+        } else {
+            end
+        };
+
+        // User-level visibility check: skip entirely-cached requests. This
+        // is the system-call reduction at the heart of §4.2.
+        let missing = if inner.features.visibility {
+            file.tree.missing_in(clock, costs, self.scope(), from, end)
+        } else {
+            vec![(from, end)]
+        };
+        if missing.is_empty() {
+            inner.stats.prefetches_skipped.incr();
+            return end;
+        }
+        inner.stats.prefetches_enqueued.incr();
+        let total: u64 = missing.iter().map(|&(s, e)| e - s).sum();
+        inner.stats.pages_requested.add(total);
+        clock.advance(costs.lock_op_ns); // enqueue
+
+        let runtime = self.clone();
+        let file = Arc::clone(file);
+        let relax = inner.features.relax_limits;
+        let visibility = inner.features.visibility;
+        let max_pages = inner.config.max_prefetch_pages;
+        // Reserve worker occupancy proportional to the syscalls the job
+        // will issue.
+        let os_cap = inner.os.config().ra_max_pages;
+        let call_estimate = if relax {
+            missing.len() as u64
+        } else {
+            total.div_ceil(os_cap.max(1))
+        };
+        let est_ns = call_estimate * inner.os.config().costs.syscall_ns;
+
+        inner.workers.dispatch(clock.now(), est_ns, move |wclock| {
+            runtime.issue_prefetch(wclock, &file, &missing, relax, visibility, max_pages);
+        });
+        end
+    }
+
+    /// Worker half: actually issue the prefetch syscalls.
+    fn issue_prefetch(
+        &self,
+        clock: &mut ThreadClock,
+        file: &Arc<LibFile>,
+        missing: &[(u64, u64)],
+        relax: bool,
+        visibility: bool,
+        max_pages: u64,
+    ) {
+        let inner = &self.inner;
+        let costs = &inner.os.config().costs;
+        let os_cap = inner.os.config().ra_max_pages;
+        for &(start, end) in missing {
+            let mut cursor = start;
+            while cursor < end {
+                let span = end - cursor;
+                let chunk = if relax {
+                    span.min(max_pages)
+                } else {
+                    span.min(os_cap)
+                };
+                if visibility {
+                    let req = RaInfoRequest::prefetch(cursor * PAGE_SIZE, chunk * PAGE_SIZE)
+                        .with_limit_pages(if relax { chunk } else { os_cap });
+                    let info = inner.os.readahead_info(clock, file.prefetch_fd, req);
+                    inner.stats.pages_initiated.add(info.initiated_pages);
+                    // Import the OS's view: mark both already-cached and
+                    // newly initiated pages in the user-level tree.
+                    file.tree
+                        .mark_cached(clock, costs, self.scope(), cursor, cursor + chunk);
+                } else {
+                    // Blind prefetching without cache visibility: plain
+                    // readahead(2) through the contended tree path.
+                    inner.os.readahead(
+                        clock,
+                        file.prefetch_fd,
+                        cursor * PAGE_SIZE,
+                        chunk * PAGE_SIZE,
+                    );
+                    inner.stats.pages_initiated.add(chunk.min(os_cap));
+                }
+                cursor += chunk;
+            }
+        }
+    }
+
+    // ----- memory watcher -----------------------------------------------------
+
+    /// Runs the §4.6 aggressive-reclamation policy if free memory dropped
+    /// below the trigger: evict least-recently-used files (preferring those
+    /// inactive for 30 s) via `fadvise(DONTNEED)` until the target is met.
+    pub fn maybe_evict(&self, clock: &mut ThreadClock, current: InodeId) {
+        let inner = &self.inner;
+        if !inner.features.aggressive {
+            return;
+        }
+        if self.free_fraction() >= inner.config.evict_trigger {
+            return;
+        }
+        // Bound the candidate scan to once per watcher interval.
+        let now = clock.now();
+        let last = inner.last_evict_scan_ns.load(Ordering::Relaxed);
+        let interval = simclock::NS_PER_MS;
+        if now < last.saturating_add(interval)
+            || inner
+                .last_evict_scan_ns
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return;
+        }
+        let costs = &inner.os.config().costs;
+        let inactive_cutoff = now.saturating_sub(inner.os.config().inactive_after_ns);
+        let idle_cutoff = now.saturating_sub(inner.config.evict_min_idle_ns);
+
+        let mut candidates: Vec<Arc<LibFile>> = inner
+            .inner_files()
+            .into_iter()
+            .filter(|f| {
+                f.ino != current
+                    // Never evict files another thread is actively using;
+                    // the OS word-granular LRU handles those gracefully.
+                    && f.last_access_ns.load(Ordering::Relaxed) < idle_cutoff
+            })
+            .collect();
+        // Inactive files first, then LRU order.
+        candidates.sort_by_key(|f| {
+            let last = f.last_access_ns.load(Ordering::Relaxed);
+            (last >= inactive_cutoff, last)
+        });
+
+        for file in candidates {
+            if self.free_fraction() >= inner.config.evict_target {
+                break;
+            }
+            let resident = inner.os.cache(file.ino).state.read().resident();
+            if resident == 0 {
+                continue;
+            }
+            inner
+                .os
+                .fadvise(clock, file.prefetch_fd, Advice::DontNeed, 0, u64::MAX);
+            let cleared = file.tree.clear(clock, costs, self.scope());
+            let _ = cleared;
+            inner.stats.files_evicted.incr();
+            inner.stats.pages_evicted.add(resident);
+        }
+    }
+
+    /// Resets the runtime's imported cache views — the user-level analogue
+    /// of dropping the page cache. Benches call this together with
+    /// [`Os::drop_caches`] between a load phase and a measured read phase,
+    /// simulating the paper's fresh-process runs (a freshly-linked
+    /// CROSS-LIB starts with no imported bitmaps).
+    pub fn drop_cache_view(&self, clock: &mut ThreadClock) {
+        let costs = &self.inner.os.config().costs;
+        for file in self.inner.inner_files() {
+            file.tree.clear(clock, costs, self.scope());
+            file.stale_pages.store(0, Ordering::Relaxed);
+            file.fetchall_scheduled.store(false, Ordering::Relaxed);
+            file.reads_since_refetch.store(0, Ordering::Relaxed);
+            file.refetch_cursor.store(0, Ordering::Relaxed);
+        }
+    }
+
+    // ----- telemetry -----------------------------------------------------------
+
+    /// Aggregate user-level lock wait across all files' range trees.
+    pub fn lib_lock_wait_ns(&self) -> u64 {
+        self.inner
+            .inner_files()
+            .iter()
+            .map(|f| f.tree.lock_wait_ns())
+            .sum()
+    }
+}
+
+impl RuntimeInner {
+    fn inner_files(&self) -> Vec<Arc<LibFile>> {
+        self.files.read().values().cloned().collect()
+    }
+}
+
+impl CpFile {
+    /// The raw descriptor (for workload-level `APPonly` policies).
+    pub fn fd(&self) -> Fd {
+        self.fd
+    }
+
+    /// The file's inode.
+    pub fn ino(&self) -> InodeId {
+        self.file.ino
+    }
+
+    /// The owning runtime.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// File size in bytes.
+    pub fn size(&self) -> u64 {
+        self.runtime.os().fs().size(self.file.ino)
+    }
+
+    /// Reads `len` bytes at `offset`, timing only (no content).
+    pub fn read_charge(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> ReadOutcome {
+        self.intercept_read(clock, offset, len, false).0
+    }
+
+    /// Reads `len` bytes at `offset`, returning content.
+    pub fn read(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> Vec<u8> {
+        let (outcome, _) = self.intercept_read(clock, offset, len, false);
+        let mut buf = vec![0u8; outcome.bytes as usize];
+        if outcome.bytes > 0 {
+            self.runtime
+                .os()
+                .fetch_content(self.file.ino, offset, &mut buf);
+        }
+        buf
+    }
+
+    fn intercept_read(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+        is_write: bool,
+    ) -> (ReadOutcome, u64) {
+        let runtime = &self.runtime;
+        let inner = &runtime.inner;
+        let features = inner.features;
+        if is_write {
+            inner.stats.writes.incr();
+        } else {
+            inner.stats.reads.incr();
+        }
+
+        if !features.intercepting() {
+            let outcome = if is_write {
+                let written = inner.os.write_charge(clock, self.fd, offset, len);
+                ReadOutcome {
+                    bytes: written,
+                    ..ReadOutcome::default()
+                }
+            } else {
+                inner.os.read_charge(clock, self.fd, offset, len)
+            };
+            return (outcome, 0);
+        }
+
+        let costs = &inner.os.config().costs;
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
+        let pages = p1 - p0;
+
+        // Predictor step (cheap, per intercepted I/O).
+        let prediction = if features.predict {
+            clock.advance(costs.predictor_step_ns);
+            let aggressive_ok = features.aggressive && runtime.aggressive_allowed(clock.now());
+            Some(self.predictor.lock().on_access(
+                p0,
+                pages,
+                aggressive_ok,
+                inner.config.max_prefetch_pages,
+            ))
+        } else {
+            None
+        };
+
+        // Prefetch per prediction *before* performing the I/O — the shim
+        // intercepts at syscall entry, so the prefetch stream overlaps the
+        // demand fill instead of trailing it. Requests are paced by
+        // consumption: a new one is issued only when the stream has read
+        // into the trailing half of the previous window (Linux's
+        // async-marker idea lifted to user space), and only then may the
+        // window grow.
+        if let Some(pred) = prediction {
+            self.paced_prefetch(clock, pred, p0, p1);
+        }
+
+        // How much of this range the user-level view believes is cached —
+        // read before the I/O so staleness is observable afterwards.
+        let claimed = if features.visibility && !is_write {
+            self.file
+                .tree
+                .cached_in(clock, costs, runtime.scope(), p0, p1)
+        } else {
+            0
+        };
+
+        // The actual I/O.
+        let outcome = if is_write {
+            let written = inner.os.write_charge(clock, self.fd, offset, len);
+            ReadOutcome {
+                bytes: written,
+                ..ReadOutcome::default()
+            }
+        } else {
+            inner.os.read_charge(clock, self.fd, offset, len)
+        };
+
+        // Staleness detection: more misses than the view predicted means
+        // the OS evicted pages behind our back. Accumulate evidence and
+        // resynchronize by dropping the view — subsequent prefetch checks
+        // fall through to the cheap `readahead_info` fast path, which
+        // re-imports the authoritative bitmap.
+        if features.visibility && !is_write {
+            let expected_miss = pages - claimed;
+            if outcome.miss_pages > expected_miss {
+                let unexpected = outcome.miss_pages - expected_miss;
+                let total = self
+                    .file
+                    .stale_pages
+                    .fetch_add(unexpected, Ordering::Relaxed)
+                    + unexpected;
+                if total >= STALE_RESYNC_PAGES {
+                    self.file.stale_pages.store(0, Ordering::Relaxed);
+                    self.file.tree.clear(clock, costs, runtime.scope());
+                }
+            }
+        }
+
+        // A miss inside the frontier-claimed region means the claim is
+        // stale (evicted or never actually covered): reset the pacing
+        // frontier so prefetching re-engages from here.
+        if outcome.miss_pages > 0 {
+            if p1 <= self.fwd_frontier.load(Ordering::Relaxed) {
+                self.fwd_frontier.store(p1, Ordering::Relaxed);
+            }
+            if p0 >= self.back_frontier.load(Ordering::Relaxed) {
+                self.back_frontier.store(p0, Ordering::Relaxed);
+            }
+        }
+
+        // Update the user-level view: these pages are now cached.
+        if features.visibility && pages > 0 {
+            self.file
+                .tree
+                .mark_cached(clock, costs, runtime.scope(), p0, p1);
+        }
+        self.file
+            .last_access_ns
+            .store(clock.now(), Ordering::Relaxed);
+
+        // FetchAll monitoring: periodically re-prefetch missing blocks,
+        // walking the file circularly. The policy assumes data fits in
+        // memory (Table 2); when it does not, rounds are capped and backed
+        // off so the refetch churn degrades toward the baselines rather
+        // than collapsing below them (Figure 7c's low-memory shape).
+        if features.fetchall && !is_write {
+            let n = self
+                .file
+                .reads_since_refetch
+                .fetch_add(1, Ordering::Relaxed)
+                + 1;
+            let file_pages = inner.os.fs().size(self.file.ino).div_ceil(PAGE_SIZE);
+            let budget = inner.os.mem().budget();
+            let over_memory = file_pages > budget;
+            let interval = if over_memory {
+                FETCHALL_REFRESH_READS * 16
+            } else {
+                FETCHALL_REFRESH_READS
+            };
+            if n.is_multiple_of(interval) && file_pages > 0 {
+                let round = if over_memory {
+                    (budget / 4).max(1)
+                } else {
+                    file_pages
+                };
+                let start = self.file.refetch_cursor.load(Ordering::Relaxed) % file_pages;
+                let reached = runtime.prefetch_pages(
+                    clock,
+                    &self.file,
+                    start,
+                    round.min(file_pages - start),
+                    false,
+                );
+                self.file.refetch_cursor.store(
+                    if reached >= file_pages { 0 } else { reached },
+                    Ordering::Relaxed,
+                );
+            }
+        }
+
+        // FincoreApp strawman: periodic fincore poll + blind readahead.
+        if features.fincore_poll {
+            let n = self.file.reads_since_poll.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(inner.config.fincore_poll_interval) {
+                inner.stats.fincore_polls.incr();
+                let runtime2 = runtime.clone();
+                let fd = self.file.prefetch_fd;
+                let next = p1 * PAGE_SIZE;
+                inner
+                    .workers
+                    .dispatch(clock.now(), costs.syscall_ns, move |wclock| {
+                        let os = runtime2.os();
+                        os.fincore(wclock, fd);
+                        os.readahead(wclock, fd, next, 1 << 20);
+                    });
+            }
+        }
+
+        // Memory watcher.
+        if features.aggressive {
+            runtime.maybe_evict(clock, self.file.ino);
+        }
+
+        (outcome, pages)
+    }
+
+    /// Consumption-paced prefetch issuing (the user-space async marker).
+    ///
+    /// The descriptor keeps a *frontier* (how far prefetch has reached in
+    /// the stream's direction) and a *window*. A new request is issued
+    /// when the read position crosses into the trailing half of the
+    /// window before the frontier; each issue may double the window, up
+    /// to the configured and memory-budget limits. A random-classified
+    /// stream collapses the window and frontier.
+    fn paced_prefetch(
+        &self,
+        clock: &mut ThreadClock,
+        pred: crate::predictor::Prediction,
+        p0: u64,
+        p1: u64,
+    ) {
+        use crate::predictor::Direction;
+        let runtime = &self.runtime;
+        let inner = &runtime.inner;
+
+        if pred.prefetch_pages == 0 {
+            // Random stream: collapse pacing state.
+            self.window_pages.store(0, Ordering::Relaxed);
+            self.fwd_frontier.store(p1, Ordering::Relaxed);
+            self.back_frontier.store(p0, Ordering::Relaxed);
+            return;
+        }
+
+        let max_pages = inner.config.max_prefetch_pages;
+        let window = self.window_pages.load(Ordering::Relaxed);
+        match pred.direction {
+            Direction::Forward => {
+                let frontier = self.fwd_frontier.load(Ordering::Relaxed);
+                // Any run break invalidates the frontier: speculation from
+                // the previous position says nothing about the new one.
+                let frontier = if pred.jumped || frontier < p1 {
+                    p1
+                } else {
+                    frontier
+                };
+                let marker = frontier.saturating_sub(window / 2);
+                if p1 < marker {
+                    return; // plenty prefetched ahead already
+                }
+                let next_window = if pred.aggressive {
+                    (window * 2).clamp(pred.prefetch_pages, max_pages)
+                } else {
+                    pred.prefetch_pages.min(max_pages)
+                };
+                let target = p1 + next_window;
+                let start = frontier.max(p1);
+                if target > start {
+                    let reached =
+                        runtime.prefetch_pages(clock, &self.file, start, target - start, true);
+                    self.fwd_frontier.store(reached.max(p1), Ordering::Relaxed);
+                    self.window_pages.store(next_window, Ordering::Relaxed);
+                }
+            }
+            Direction::Backward => {
+                let frontier = self.back_frontier.load(Ordering::Relaxed);
+                let frontier = if pred.jumped || frontier > p0 {
+                    p0
+                } else {
+                    frontier
+                };
+                let marker = frontier + window / 2;
+                if p0 > marker {
+                    return;
+                }
+                let next_window = if pred.aggressive {
+                    (window * 2).clamp(pred.prefetch_pages, max_pages)
+                } else {
+                    pred.prefetch_pages.min(max_pages)
+                };
+                let target = p0.saturating_sub(next_window);
+                let end = frontier.min(p0);
+                if end > target {
+                    // Backward prefetch is clamped from the front; treat a
+                    // partial schedule as full coverage of the tail.
+                    runtime.prefetch_pages(clock, &self.file, target, end - target, true);
+                    self.back_frontier.store(target, Ordering::Relaxed);
+                    self.window_pages.store(next_window, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Writes `len` bytes at `offset`, timing only.
+    pub fn write_charge(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> u64 {
+        self.intercept_read(clock, offset, len, true).0.bytes
+    }
+
+    /// Writes content at `offset`.
+    pub fn write(&self, clock: &mut ThreadClock, offset: u64, data: &[u8]) -> u64 {
+        let written = self
+            .intercept_read(clock, offset, data.len() as u64, true)
+            .0
+            .bytes;
+        if written > 0 {
+            self.runtime.os().store_content(self.file.ino, offset, data);
+        }
+        written
+    }
+
+    /// `fsync` passthrough.
+    pub fn fsync(&self, clock: &mut ThreadClock) {
+        self.runtime.os().fsync(clock, self.fd);
+    }
+
+    /// Advice passthrough (used by `APPonly` workload policies).
+    pub fn advise(&self, clock: &mut ThreadClock, advice: Advice, offset: u64, len: u64) {
+        self.runtime
+            .os()
+            .fadvise(clock, self.fd, advice, offset, len);
+    }
+
+    /// `readahead(2)` passthrough (used by `APPonly` workload policies).
+    pub fn readahead(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> u64 {
+        self.runtime.os().readahead(clock, self.fd, offset, len)
+    }
+
+    /// Memory-mapped access through the shim (§4.6 mmap support): the
+    /// runtime watches mapped-access progress and prefetches ahead using
+    /// the same predictor machinery.
+    pub fn mmap_read(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> MmapOutcome {
+        let runtime = &self.runtime;
+        let inner = &runtime.inner;
+        // The shim silences heuristic readahead on the *read(2)* path to
+        // avoid double-prefetching, but mmap faults have no syscall to
+        // intercept: restore fault-around for mapped access (the OS bitmap
+        // dedups any overlap with the runtime's own prefetch).
+        if inner.features.intercepting()
+            && self
+                .mmap_touched
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            inner.os.fadvise(clock, self.fd, Advice::Normal, 0, 0);
+        }
+        let outcome = inner.os.mmap_read(clock, self.fd, offset, len);
+        if inner.features.predict && len > 0 {
+            let costs = &inner.os.config().costs;
+            let p0 = offset / PAGE_SIZE;
+            let p1 = (offset + len).div_ceil(PAGE_SIZE);
+            if inner.features.visibility {
+                self.file
+                    .tree
+                    .mark_cached(clock, costs, runtime.scope(), p0, p1);
+            }
+            let aggressive_ok =
+                inner.features.aggressive && runtime.aggressive_allowed(clock.now());
+            let pred = self.predictor.lock().on_access(
+                p0,
+                p1 - p0,
+                aggressive_ok,
+                inner.config.max_prefetch_pages,
+            );
+            self.paced_prefetch(clock, pred, p0, p1);
+        }
+        outcome
+    }
+}

@@ -1,0 +1,54 @@
+//! Runtime-level counters.
+
+use simclock::Counter;
+
+/// CROSS-LIB counters — the runtime-side telemetry the paper reports
+/// (prefetch syscalls saved, evictions, predictor activity).
+#[derive(Debug, Default)]
+pub struct LibStats {
+    /// Reads intercepted by the runtime.
+    pub reads: Counter,
+    /// Writes intercepted by the runtime.
+    pub writes: Counter,
+    /// Prefetch requests enqueued to the worker pool.
+    pub prefetches_enqueued: Counter,
+    /// Prefetch requests skipped because the user-level bitmap showed the
+    /// range fully cached — the syscalls CrossPrefetch saves.
+    pub prefetches_skipped: Counter,
+    /// Pages the runtime asked the OS to prefetch.
+    pub pages_requested: Counter,
+    /// Pages the OS actually initiated (from `readahead_info` replies).
+    pub pages_initiated: Counter,
+    /// Files evicted by the memory watcher.
+    pub files_evicted: Counter,
+    /// Pages dropped by runtime-driven eviction.
+    pub pages_evicted: Counter,
+    /// fincore polls issued (FincoreApp mode).
+    pub fincore_polls: Counter,
+}
+
+impl LibStats {
+    /// Fraction of would-be prefetch calls avoided via cache visibility.
+    pub fn skip_ratio(&self) -> f64 {
+        let enq = self.prefetches_enqueued.get() as f64;
+        let skipped = self.prefetches_skipped.get() as f64;
+        if enq + skipped == 0.0 {
+            return 0.0;
+        }
+        skipped / (enq + skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_ratio_handles_zero() {
+        let stats = LibStats::default();
+        assert_eq!(stats.skip_ratio(), 0.0);
+        stats.prefetches_enqueued.add(3);
+        stats.prefetches_skipped.add(1);
+        assert!((stats.skip_ratio() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,179 @@
+//! Aggregated runtime telemetry reports.
+//!
+//! CROSS-LIB's value proposition is *visibility*: the OS exports cache
+//! state and counters, the runtime adds its own, and operators can see
+//! exactly what prefetching did. [`RuntimeReport`] snapshots both layers
+//! into one structure with a human-readable rendering.
+
+use std::fmt;
+
+use crate::Runtime;
+
+/// A point-in-time snapshot of the cross-layered telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Mechanism label (Table 2 name).
+    pub mode: &'static str,
+    /// Reads intercepted by the shim.
+    pub reads: u64,
+    /// Writes intercepted by the shim.
+    pub writes: u64,
+    /// Page-cache hit ratio over the OS lifetime.
+    pub hit_ratio: f64,
+    /// `readahead_info` calls issued.
+    pub ra_info_calls: u64,
+    /// Prefetch requests skipped thanks to cache visibility.
+    pub prefetches_skipped: u64,
+    /// Pages the OS initiated on behalf of the runtime.
+    pub pages_initiated: u64,
+    /// Pages evicted by the runtime's memory watcher.
+    pub pages_evicted_by_lib: u64,
+    /// Pages evicted by the OS LRU.
+    pub pages_evicted_by_os: u64,
+    /// Device bytes read and written.
+    pub device_read_bytes: u64,
+    /// Device bytes written.
+    pub device_write_bytes: u64,
+    /// Resident / budget pages.
+    pub resident_pages: u64,
+    /// Memory budget in pages.
+    pub budget_pages: u64,
+    /// Aggregate OS lock wait (tree + bitmap + mmap), nanoseconds.
+    pub os_lock_wait_ns: u64,
+    /// Aggregate user-level range-tree lock wait, nanoseconds.
+    pub lib_lock_wait_ns: u64,
+}
+
+impl RuntimeReport {
+    /// Snapshots the current counters of `runtime` and its OS.
+    pub fn collect(runtime: &Runtime) -> Self {
+        let os = runtime.os();
+        let stats = runtime.stats();
+        Self {
+            mode: runtime.config().mode.label(),
+            reads: stats.reads.get(),
+            writes: stats.writes.get(),
+            hit_ratio: os.hit_ratio(),
+            ra_info_calls: os.stats().ra_info_calls.get(),
+            prefetches_skipped: stats.prefetches_skipped.get(),
+            pages_initiated: stats.pages_initiated.get(),
+            pages_evicted_by_lib: stats.pages_evicted.get(),
+            pages_evicted_by_os: os.mem().evicted.get(),
+            device_read_bytes: os.device().stats().read_bytes.get(),
+            device_write_bytes: os.device().stats().write_bytes.get(),
+            resident_pages: os.mem().resident(),
+            budget_pages: os.mem().budget(),
+            os_lock_wait_ns: os.total_lock_wait_ns(),
+            lib_lock_wait_ns: runtime.lib_lock_wait_ns(),
+        }
+    }
+
+    /// Prefetch efficiency: fraction of initiated pages per device page
+    /// read (1.0 = all device reads were prefetch).
+    pub fn prefetch_share(&self) -> f64 {
+        let device_pages = self.device_read_bytes / crate::PAGE_SIZE;
+        if device_pages == 0 {
+            return 0.0;
+        }
+        self.pages_initiated as f64 / device_pages as f64
+    }
+}
+
+impl fmt::Display for RuntimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== CrossPrefetch runtime report [{}] ===", self.mode)?;
+        writeln!(
+            f,
+            "I/O        : {} reads, {} writes",
+            self.reads, self.writes
+        )?;
+        writeln!(
+            f,
+            "cache      : {:.1}% hits, {}/{} pages resident",
+            self.hit_ratio * 100.0,
+            self.resident_pages,
+            self.budget_pages
+        )?;
+        writeln!(
+            f,
+            "prefetch   : {} readahead_info calls, {} skipped by visibility, {} pages initiated",
+            self.ra_info_calls, self.prefetches_skipped, self.pages_initiated
+        )?;
+        writeln!(
+            f,
+            "eviction   : {} pages by runtime, {} pages by OS LRU",
+            self.pages_evicted_by_lib, self.pages_evicted_by_os
+        )?;
+        writeln!(
+            f,
+            "device     : {:.1} MB read, {:.1} MB written ({:.0}% prefetch-driven)",
+            self.device_read_bytes as f64 / 1e6,
+            self.device_write_bytes as f64 / 1e6,
+            self.prefetch_share() * 100.0
+        )?;
+        write!(
+            f,
+            "lock waits : {} us OS-side, {} us user-side",
+            self.os_lock_wait_ns / 1_000,
+            self.lib_lock_wait_ns / 1_000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+    use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+
+    fn runtime() -> Runtime {
+        let os = Os::new(
+            OsConfig::with_memory_mb(64),
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        Runtime::with_mode(os, Mode::PredictOpt)
+    }
+
+    #[test]
+    fn report_reflects_activity() {
+        let rt = runtime();
+        let mut clock = rt.new_clock();
+        let file = rt.create_sized(&mut clock, "/t", 8 << 20).unwrap();
+        for i in 0..128u64 {
+            file.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+        }
+        let report = RuntimeReport::collect(&rt);
+        assert_eq!(report.mode, "CrossP[+predict+opt]");
+        assert_eq!(report.reads, 128);
+        assert!(report.pages_initiated > 0);
+        assert!(report.device_read_bytes > 0);
+        assert!(report.hit_ratio > 0.0);
+    }
+
+    #[test]
+    fn report_renders_every_section() {
+        let rt = runtime();
+        let mut clock = rt.new_clock();
+        let file = rt.create_sized(&mut clock, "/t", 1 << 20).unwrap();
+        file.read_charge(&mut clock, 0, 64 * 1024);
+        let rendered = RuntimeReport::collect(&rt).to_string();
+        for section in [
+            "I/O",
+            "cache",
+            "prefetch",
+            "eviction",
+            "device",
+            "lock waits",
+        ] {
+            assert!(rendered.contains(section), "missing section {section}");
+        }
+    }
+
+    #[test]
+    fn prefetch_share_handles_zero_device_traffic() {
+        let rt = runtime();
+        let report = RuntimeReport::collect(&rt);
+        assert_eq!(report.prefetch_share(), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Background prefetch workers (§4.3: "dedicated background threads to
+//! issue prefetch calls to prevent impacting application thread
+//! performance").
+//!
+//! Workers are modeled as virtual-time FCFS servers rather than real OS
+//! threads: an application thread pays only a cheap enqueue cost, the
+//! request is assigned to a worker round-robin, and the worker's server
+//! determines *when in virtual time* the prefetch syscalls execute. The
+//! actual state mutation happens immediately (on the caller's stack) with a
+//! detached clock starting at the worker's dispatch time, so results are
+//! deterministic while the timing matches a real worker pool: a saturated
+//! pool delays prefetches, and more workers (`NR_WORKERS_VAR`) drain the
+//! queue faster.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use simclock::{FcfsResource, GlobalClock, ThreadClock};
+
+/// A pool of virtual prefetch workers.
+#[derive(Debug)]
+pub struct WorkerPool {
+    servers: Vec<FcfsResource>,
+    next: AtomicUsize,
+    global: Arc<GlobalClock>,
+    /// Fixed dispatch overhead per request (dequeue + bookkeeping).
+    dispatch_ns: u64,
+}
+
+impl WorkerPool {
+    /// Creates a pool of `workers` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize, global: Arc<GlobalClock>) -> Self {
+        assert!(workers > 0, "worker pool needs at least one worker");
+        Self {
+            servers: (0..workers)
+                .map(|_| FcfsResource::new("prefetch-worker"))
+                .collect(),
+            next: AtomicUsize::new(0),
+            global,
+            dispatch_ns: 300,
+        }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the pool is empty (never true; pools have ≥1 worker).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Dispatches a job enqueued at `enqueue_ns`, running `job` with a
+    /// clock positioned at the worker's start time. `estimated_ns` is the
+    /// server occupancy reserved for the job (its issuing cost, not the
+    /// device time, which the job charges itself).
+    ///
+    /// Returns the virtual time at which the job's issuing completed.
+    pub fn dispatch<F>(&self, enqueue_ns: u64, estimated_ns: u64, job: F) -> u64
+    where
+        F: FnOnce(&mut ThreadClock),
+    {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
+        let access = self.servers[idx].access(enqueue_ns, self.dispatch_ns + estimated_ns);
+        let mut clock = ThreadClock::detached_at(Arc::clone(&self.global), access.start_ns);
+        job(&mut clock);
+        clock.now()
+    }
+
+    /// Total queueing delay requests have experienced across workers.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.servers.iter().map(|s| s.stats().wait_ns()).sum()
+    }
+
+    /// Total jobs dispatched.
+    pub fn jobs(&self) -> u64 {
+        self.servers.iter().map(|s| s.stats().acquisitions()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(workers: usize) -> WorkerPool {
+        WorkerPool::new(workers, Arc::new(GlobalClock::new()))
+    }
+
+    #[test]
+    fn single_worker_serializes_jobs() {
+        let pool = pool(1);
+        let end1 = pool.dispatch(0, 10_000, |_| {});
+        let end2 = pool.dispatch(0, 10_000, |_| {});
+        assert!(end2 >= end1 + 10_000);
+        assert_eq!(pool.jobs(), 2);
+    }
+
+    #[test]
+    fn more_workers_run_in_parallel() {
+        let pool = pool(4);
+        let ends: Vec<u64> = (0..4).map(|_| pool.dispatch(0, 10_000, |_| {})).collect();
+        // All four run concurrently: all finish near 10_300.
+        assert!(ends.iter().all(|&e| e < 12_000));
+        assert_eq!(pool.total_wait_ns(), 0);
+    }
+
+    #[test]
+    fn job_clock_starts_at_dispatch_time() {
+        let pool = pool(1);
+        pool.dispatch(5_000, 100, |clock| {
+            assert!(clock.now() >= 5_000);
+        });
+    }
+
+    #[test]
+    fn job_device_time_extends_completion() {
+        let pool = pool(1);
+        let end = pool.dispatch(0, 100, |clock| clock.advance(50_000));
+        assert!(end >= 50_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        pool(0);
+    }
+}

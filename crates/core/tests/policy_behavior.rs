@@ -1,0 +1,162 @@
+//! Policy-level tests for the memory watcher, worker pool integration,
+//! staleness resynchronization, and pacing frontiers.
+
+use crossprefetch::{Mode, Runtime, RuntimeConfig};
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig, PAGE_SIZE};
+use std::sync::Arc;
+
+fn boot(memory_mb: u64) -> Arc<Os> {
+    Os::new(
+        OsConfig::with_memory_mb(memory_mb),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    )
+}
+
+#[test]
+fn stale_view_resyncs_after_external_eviction() {
+    let rt = Runtime::with_mode(boot(256), Mode::PredictOpt);
+    let mut clock = rt.new_clock();
+    let file = rt.create_sized(&mut clock, "/stale", 16 << 20).unwrap();
+    // Warm everything; the user view marks it cached.
+    for i in 0..256u64 {
+        file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
+    }
+    // The OS drops its cache behind the runtime's back.
+    rt.os().drop_caches(&mut clock);
+    // Reads now miss; after enough unexpected misses the view resyncs and
+    // prefetching resumes (initiated pages grow again).
+    let before = rt.stats().pages_initiated.get();
+    for i in 0..256u64 {
+        file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
+    }
+    assert!(
+        rt.stats().pages_initiated.get() > before,
+        "prefetching must resume after staleness resync"
+    );
+}
+
+#[test]
+fn aggressive_growth_pauses_under_reclaim_pressure() {
+    // A dataset far larger than memory keeps reclaim running; aggressive
+    // windows must stay bounded so device traffic does not balloon.
+    let rt = Runtime::with_mode(boot(16), Mode::PredictOpt);
+    let mut clock = rt.new_clock();
+    let file = rt.create_sized(&mut clock, "/pressure", 128 << 20).unwrap();
+    for i in 0..1024u64 {
+        file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
+    }
+    let touched = 1024 * 64 * 1024u64;
+    let device_read = rt.os().device().stats().read_bytes.get();
+    assert!(
+        device_read < touched * 2,
+        "device read {device_read} must stay within 2x of touched {touched}"
+    );
+    assert!(rt.os().mem().resident() <= rt.os().mem().budget());
+}
+
+#[test]
+fn backward_stream_prefetches_behind() {
+    let rt = Runtime::with_mode(boot(256), Mode::PredictOpt);
+    let mut clock = rt.new_clock();
+    let file = rt.create_sized(&mut clock, "/rev", 32 << 20).unwrap();
+    let total_pages = (32u64 << 20) / PAGE_SIZE;
+    let mut miss = 0u64;
+    let mut pages = 0u64;
+    for i in (0..total_pages / 4).rev() {
+        let outcome = file.read_charge(&mut clock, i * 4 * PAGE_SIZE, 4 * PAGE_SIZE);
+        miss += outcome.miss_pages;
+        pages += outcome.pages;
+    }
+    let miss_rate = miss as f64 / pages as f64;
+    assert!(
+        miss_rate < 0.2,
+        "backward stream should be mostly prefetched, miss {miss_rate:.2}"
+    );
+}
+
+#[test]
+fn worker_count_is_respected() {
+    for workers in [1usize, 4] {
+        let mut config = RuntimeConfig::new(Mode::PredictOpt);
+        config.workers = workers;
+        let rt = Runtime::new(boot(128), config);
+        assert_eq!(rt.workers().len(), workers);
+        let mut clock = rt.new_clock();
+        let file = rt.create_sized(&mut clock, "/w", 8 << 20).unwrap();
+        for i in 0..128u64 {
+            file.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+        }
+        assert!(rt.workers().jobs() > 0);
+    }
+}
+
+#[test]
+fn eviction_respects_min_idle_protection() {
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.evict_min_idle_ns = u64::MAX / 2; // nothing is ever idle enough
+    let rt = Runtime::new(boot(16), config);
+    let mut clock = rt.new_clock();
+    for f in 0..4 {
+        let file = rt
+            .create_sized(&mut clock, &format!("/f{f}"), 16 << 20)
+            .unwrap();
+        for i in 0..128u64 {
+            file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
+        }
+    }
+    assert_eq!(
+        rt.stats().files_evicted.get(),
+        0,
+        "min-idle protection must suppress lib-level eviction"
+    );
+    // The OS reclaim still bounds memory.
+    assert!(rt.os().mem().resident() <= rt.os().mem().budget());
+}
+
+#[test]
+fn drop_cache_view_resets_prefetch_dedup() {
+    let rt = Runtime::with_mode(boot(256), Mode::FetchAllOpt);
+    let mut clock = rt.new_clock();
+    let file = rt.create_sized(&mut clock, "/fa", 4 << 20).unwrap();
+    let first = rt.stats().pages_initiated.get();
+    assert_eq!(first, (4 << 20) / PAGE_SIZE, "fetchall loads at open");
+    rt.os().drop_caches(&mut clock);
+    rt.drop_cache_view(&mut clock);
+    // Re-opening schedules the whole file again.
+    let again = rt.open(&mut clock, "/fa").unwrap();
+    let _ = again;
+    assert_eq!(
+        rt.stats().pages_initiated.get(),
+        2 * first,
+        "fetchall reschedules after a view drop"
+    );
+    let _ = file;
+}
+
+#[test]
+fn predictors_are_per_descriptor() {
+    // Two descriptors on one file, one sequential and one random: the
+    // sequential one must keep prefetching (its predictor is private).
+    let rt = Runtime::with_mode(boot(512), Mode::PredictOpt);
+    let mut clock = rt.new_clock();
+    rt.create_sized(&mut clock, "/mixed", 64 << 20).unwrap();
+    let seq = rt.open(&mut clock, "/mixed").unwrap();
+    let rand = rt.open(&mut clock, "/mixed").unwrap();
+
+    let mut seq_miss = 0u64;
+    let mut seq_pages = 0u64;
+    for i in 0..512u64 {
+        // Interleave: sequential stream on `seq`, scattered reads on `rand`.
+        let outcome = seq.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+        seq_miss += outcome.miss_pages;
+        seq_pages += outcome.pages;
+        let scatter = ((i * 7919 + 13) % 12_000) * PAGE_SIZE + (32 << 20);
+        rand.read_charge(&mut clock, scatter, 4096);
+    }
+    let rate = seq_miss as f64 / seq_pages as f64;
+    assert!(
+        rate < 0.25,
+        "sequential descriptor stays prefetched despite the random sibling, miss {rate:.2}"
+    );
+}

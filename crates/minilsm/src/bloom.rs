@@ -1,0 +1,156 @@
+//! A simple blocked Bloom filter for SSTable key membership.
+
+/// A Bloom filter sized at construction for an expected key count and
+/// bits-per-key budget, with a double-hashing probe sequence.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    probes: u32,
+}
+
+impl BloomFilter {
+    /// Builds a filter for `keys`, using `bits_per_key` bits of space per
+    /// key (RocksDB defaults to 10).
+    pub fn from_keys<'a, I>(keys: I, count_hint: usize, bits_per_key: u32) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let nbits = (count_hint.max(1) * bits_per_key as usize).next_power_of_two();
+        let probes = ((bits_per_key as f64) * 0.69).round().clamp(1.0, 30.0) as u32;
+        let mut filter = Self {
+            bits: vec![0u64; nbits / 64 + 1],
+            probes,
+        };
+        for key in keys {
+            filter.insert(key);
+        }
+        filter
+    }
+
+    fn hash2(key: &[u8]) -> (u64, u64) {
+        // FNV-1a and a rotated variant for double hashing.
+        let mut h1: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h1 ^= b as u64;
+            h1 = h1.wrapping_mul(0x1000_0000_01b3);
+        }
+        let h2 = h1.rotate_left(31).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (h1, h2)
+    }
+
+    fn insert(&mut self, key: &[u8]) {
+        let nbits = (self.bits.len() * 64) as u64;
+        let (h1, h2) = Self::hash2(key);
+        for i in 0..self.probes as u64 {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % nbits;
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Whether `key` may be present (false positives possible, false
+    /// negatives impossible).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        let nbits = (self.bits.len() * 64) as u64;
+        let (h1, h2) = Self::hash2(key);
+        (0..self.probes as u64).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % nbits;
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Size of the filter in bytes (for memory accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Serializes the filter for an SSTable meta block.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.bits.len() * 8);
+        out.extend_from_slice(&self.probes.to_le_bytes());
+        out.extend_from_slice(&(self.bits.len() as u32).to_le_bytes());
+        for word in &self.bits {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a filter written by [`BloomFilter::to_bytes`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        if data.len() < 8 {
+            return None;
+        }
+        let probes = u32::from_le_bytes(data[0..4].try_into().ok()?);
+        let words = u32::from_le_bytes(data[4..8].try_into().ok()?) as usize;
+        if data.len() != 8 + words * 8 || !(1..=30).contains(&probes) {
+            return None;
+        }
+        let bits = data[8..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunked by 8")))
+            .collect();
+        Some(Self { bits, probes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(1000);
+        let filter = BloomFilter::from_keys(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        for k in &ks {
+            assert!(filter.may_contain(k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let ks = keys(1000);
+        let filter = BloomFilter::from_keys(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let mut fp = 0;
+        let trials = 10_000;
+        for i in 0..trials {
+            let probe = format!("absent{i:08}");
+            if filter.may_contain(probe.as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / trials as f64;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let filter = BloomFilter::from_keys(std::iter::empty(), 0, 10);
+        assert!(!filter.may_contain(b"anything"));
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let ks = keys(500);
+        let filter = BloomFilter::from_keys(ks.iter().map(|k| k.as_slice()), ks.len(), 10);
+        let bytes = filter.to_bytes();
+        let back = BloomFilter::from_bytes(&bytes).expect("well-formed");
+        for k in &ks {
+            assert!(back.may_contain(k));
+        }
+        assert_eq!(back.size_bytes(), filter.size_bytes());
+    }
+
+    #[test]
+    fn malformed_bytes_rejected() {
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[1, 2, 3]).is_none());
+        let mut valid = BloomFilter::from_keys(std::iter::empty(), 1, 10).to_bytes();
+        valid.pop();
+        assert!(BloomFilter::from_bytes(&valid).is_none());
+    }
+}

@@ -1,0 +1,394 @@
+//! Scan iterators: per-table block streams and the k-way shadowing merge.
+//!
+//! Scans are where the prefetching mechanisms differentiate: a forward scan
+//! reads data blocks in ascending file order, a reverse scan in descending
+//! order (which defeats Linux's forward-only readahead — the paper's
+//! `readreverse` result), and the RocksDB-style `APPonly` posture issues
+//! explicit, ramping `readahead` calls from the iterator itself.
+
+use std::sync::Arc;
+
+use crossprefetch::Mode;
+use simclock::ThreadClock;
+
+use crate::db::{Db, Table};
+use crate::sstable::{decode_block, Entry};
+
+/// Scan direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanDirection {
+    /// Ascending keys.
+    Forward,
+    /// Descending keys.
+    Reverse,
+}
+
+/// Streaming iterator over one table's entries.
+///
+/// For scans each iterator opens a *private* descriptor on the table file,
+/// so every scanning thread carries its own access-pattern state (the
+/// paper's per-file-descriptor prefetching, §4.5). Compaction reuses the
+/// table's shared handle.
+#[derive(Debug)]
+pub struct TableIter {
+    table: Arc<Table>,
+    /// Pooled per-thread handle for this scan (None = use the table's
+    /// shared handle, as compaction does).
+    handle: Option<Arc<crossprefetch::CpFile>>,
+    direction: ScanDirection,
+    /// Next block to fetch.
+    next_block: Option<usize>,
+    /// Decoded entries of the current block.
+    entries: Vec<Entry>,
+    /// Cursor within `entries` (counts down for reverse).
+    pos: usize,
+    /// APPonly ramping readahead: next window size in bytes.
+    app_ra_window: u64,
+    app_mode: bool,
+}
+
+impl TableIter {
+    /// A forward iterator using the table's shared handle (compaction).
+    pub fn forward_shared(clock: &mut ThreadClock, db: &Db, table: Arc<Table>) -> Self {
+        let mut iter = Self {
+            table,
+            handle: None,
+            direction: ScanDirection::Forward,
+            next_block: Some(0),
+            entries: Vec::new(),
+            pos: 0,
+            app_ra_window: 64 * 1024,
+            app_mode: db.runtime().config().mode == Mode::AppOnly,
+        };
+        iter.load_next(clock);
+        iter
+    }
+
+    /// A scan iterator with a private descriptor, positioned at
+    /// `start_key` (or the extreme end when `None`).
+    pub fn scan(
+        clock: &mut ThreadClock,
+        db: &Db,
+        table: Arc<Table>,
+        start_key: Option<&[u8]>,
+        direction: ScanDirection,
+    ) -> Self {
+        // Pooled per-thread scan descriptor: reopening per scan would pay
+        // a syscall and reset the access-pattern predictor on every short
+        // scan (RocksDB pools iterator descriptors for the same reason).
+        let handle = Some(db.thread_scan_handle(clock, &table));
+        let app_mode = db.runtime().config().mode == Mode::AppOnly;
+        let block_count = table.reader.meta.index.len();
+        let next_block = match (start_key, direction) {
+            (None, ScanDirection::Forward) => Some(0),
+            (None, ScanDirection::Reverse) => block_count.checked_sub(1),
+            (Some(key), _) => match table.reader.meta.block_for(key) {
+                Some(idx) => Some(idx),
+                None => match direction {
+                    // Key precedes the table: forward starts at block 0,
+                    // reverse has nothing before the table.
+                    ScanDirection::Forward => Some(0),
+                    ScanDirection::Reverse => None,
+                },
+            },
+        };
+        let mut iter = Self {
+            table,
+            handle,
+            direction,
+            next_block,
+            entries: Vec::new(),
+            pos: 0,
+            app_ra_window: 64 * 1024,
+            app_mode,
+        };
+        iter.load_next(clock);
+        // Position within the block relative to start_key.
+        if let Some(key) = start_key {
+            match direction {
+                ScanDirection::Forward => {
+                    while iter.peek_key().is_some_and(|k| k < key) {
+                        iter.advance(clock);
+                    }
+                }
+                ScanDirection::Reverse => {
+                    while iter.peek_key().is_some_and(|k| k > key) {
+                        iter.advance(clock);
+                    }
+                }
+            }
+        }
+        iter
+    }
+
+    fn read_block(&mut self, clock: &mut ThreadClock, idx: usize) -> Vec<Entry> {
+        let meta = &self.table.reader.meta;
+        let entry = &meta.index[idx];
+        match &self.handle {
+            Some(handle) => {
+                // APPonly: the application issues its own ramping readahead
+                // ahead of a forward scan (RocksDB iterator readahead).
+                if self.app_mode && self.direction == ScanDirection::Forward {
+                    let ahead = entry.offset + entry.len as u64;
+                    handle.readahead(clock, ahead, self.app_ra_window);
+                    self.app_ra_window = (self.app_ra_window * 2).min(2 << 20);
+                }
+                let data = handle.read(clock, entry.offset, entry.len as u64);
+                decode_block(&data)
+            }
+            None => self.table.reader.read_block(clock, idx),
+        }
+    }
+
+    fn load_next(&mut self, clock: &mut ThreadClock) {
+        loop {
+            let Some(idx) = self.next_block else {
+                self.entries.clear();
+                return;
+            };
+            let entries = self.read_block(clock, idx);
+            self.next_block = match self.direction {
+                ScanDirection::Forward => {
+                    if idx + 1 < self.table.reader.meta.index.len() {
+                        Some(idx + 1)
+                    } else {
+                        None
+                    }
+                }
+                ScanDirection::Reverse => idx.checked_sub(1),
+            };
+            if entries.is_empty() {
+                continue;
+            }
+            self.pos = match self.direction {
+                ScanDirection::Forward => 0,
+                ScanDirection::Reverse => entries.len() - 1,
+            };
+            self.entries = entries;
+            return;
+        }
+    }
+
+    /// The key currently under the cursor.
+    pub fn peek_key(&self) -> Option<&[u8]> {
+        self.entries.get(self.pos).map(|e| e.key.as_slice())
+    }
+
+    /// The entry currently under the cursor.
+    pub fn peek(&self) -> Option<&Entry> {
+        self.entries.get(self.pos)
+    }
+
+    /// Moves the cursor one entry in the scan direction.
+    pub fn advance(&mut self, clock: &mut ThreadClock) {
+        if self.entries.is_empty() {
+            return;
+        }
+        match self.direction {
+            ScanDirection::Forward => {
+                self.pos += 1;
+                if self.pos >= self.entries.len() {
+                    self.load_next(clock);
+                }
+            }
+            ScanDirection::Reverse => {
+                if self.pos == 0 {
+                    self.load_next(clock);
+                } else {
+                    self.pos -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// A source for the merge: a table iterator or a sorted in-memory snapshot.
+#[derive(Debug)]
+pub enum MergeSource {
+    /// On-disk table stream.
+    Table(TableIter),
+    /// Memtable snapshot (already direction-ordered).
+    Mem {
+        /// Direction-ordered entries.
+        entries: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+        /// Cursor.
+        pos: usize,
+    },
+}
+
+impl MergeSource {
+    fn peek_key(&self) -> Option<&[u8]> {
+        match self {
+            MergeSource::Table(iter) => iter.peek_key(),
+            MergeSource::Mem { entries, pos } => entries.get(*pos).map(|(k, _)| k.as_slice()),
+        }
+    }
+
+    fn take_and_advance(&mut self, clock: &mut ThreadClock) -> Option<Entry> {
+        match self {
+            MergeSource::Table(iter) => {
+                let entry = iter.peek().cloned();
+                iter.advance(clock);
+                entry
+            }
+            MergeSource::Mem { entries, pos } => {
+                let entry = entries.get(*pos).map(|(k, v)| Entry {
+                    key: k.clone(),
+                    value: v.clone(),
+                });
+                *pos += 1;
+                entry
+            }
+        }
+    }
+
+    fn skip_key(&mut self, clock: &mut ThreadClock, key: &[u8]) {
+        if self.peek_key() == Some(key) {
+            match self {
+                MergeSource::Table(iter) => iter.advance(clock),
+                MergeSource::Mem { pos, .. } => *pos += 1,
+            }
+        }
+    }
+}
+
+/// K-way merge with newest-source-wins shadowing. Sources must be supplied
+/// newest first; tombstones are surfaced (callers skip them) except via
+/// [`MergeIter::next_live`].
+#[derive(Debug)]
+pub struct MergeIter {
+    sources: Vec<MergeSource>,
+    direction: ScanDirection,
+}
+
+impl MergeIter {
+    /// Builds a forward merge over table iterators (compaction use).
+    pub fn new(tables: Vec<TableIter>) -> Self {
+        Self {
+            sources: tables.into_iter().map(MergeSource::Table).collect(),
+            direction: ScanDirection::Forward,
+        }
+    }
+
+    /// Builds a merge over arbitrary sources (scan use).
+    pub fn with_sources(sources: Vec<MergeSource>, direction: ScanDirection) -> Self {
+        Self { sources, direction }
+    }
+
+    /// Next entry in scan order (may be a tombstone).
+    pub fn next(&mut self, clock: &mut ThreadClock) -> Option<Entry> {
+        // Find the extreme key among sources; earliest source wins ties.
+        let mut best: Option<(usize, Vec<u8>)> = None;
+        for (i, source) in self.sources.iter().enumerate() {
+            if let Some(key) = source.peek_key() {
+                let better = match &best {
+                    None => true,
+                    Some((_, bk)) => match self.direction {
+                        ScanDirection::Forward => key < bk.as_slice(),
+                        ScanDirection::Reverse => key > bk.as_slice(),
+                    },
+                };
+                if better {
+                    best = Some((i, key.to_vec()));
+                }
+            }
+        }
+        let (winner, key) = best?;
+        let entry = self.sources[winner].take_and_advance(clock);
+        // Shadow the same key in older sources.
+        for source in self.sources.iter_mut().skip(winner + 1) {
+            source.skip_key(clock, &key);
+        }
+        // Also shadow in newer sources (possible when the winner was not
+        // index 0 because newer sources were past this key already — they
+        // cannot hold it, so this is a no-op kept for clarity).
+        entry
+    }
+
+    /// Next live (non-tombstone) entry.
+    pub fn next_live(&mut self, clock: &mut ThreadClock) -> Option<Entry> {
+        loop {
+            let entry = self.next(clock)?;
+            if entry.value.is_some() {
+                return Some(entry);
+            }
+        }
+    }
+}
+
+/// A full database scan.
+#[derive(Debug)]
+pub struct DbIter {
+    merge: MergeIter,
+}
+
+impl DbIter {
+    /// Opens a scan over `db` starting at `start_key` (inclusive bound in
+    /// the scan direction; `None` = from the extreme end).
+    pub fn new(
+        db: &Db,
+        clock: &mut ThreadClock,
+        start_key: Option<&[u8]>,
+        direction: ScanDirection,
+    ) -> Self {
+        let mut sources: Vec<MergeSource> = Vec::new();
+
+        // Memtable snapshot, direction-ordered and positioned.
+        let mut mem = db.mem_snapshot();
+        if direction == ScanDirection::Reverse {
+            mem.reverse();
+        }
+        let pos = match start_key {
+            None => 0,
+            Some(key) => mem
+                .iter()
+                .position(|(k, _)| match direction {
+                    ScanDirection::Forward => k.as_slice() >= key,
+                    ScanDirection::Reverse => k.as_slice() <= key,
+                })
+                .unwrap_or(mem.len()),
+        };
+        sources.push(MergeSource::Mem { entries: mem, pos });
+
+        let levels = db.level_snapshot();
+        for table in &levels[0] {
+            sources.push(MergeSource::Table(TableIter::scan(
+                clock,
+                db,
+                Arc::clone(table),
+                start_key,
+                direction,
+            )));
+        }
+        // L1 is non-overlapping: only tables in the scan's remaining key
+        // space matter, but opening lazily is an optimization the paper's
+        // workloads do not need — scans touch them in order anyway. Open
+        // only tables that can still contribute.
+        for table in &levels[1] {
+            let relevant = match (start_key, direction) {
+                (None, _) => true,
+                (Some(key), ScanDirection::Forward) => table.reader.meta.last_key.as_slice() >= key,
+                (Some(key), ScanDirection::Reverse) => {
+                    table.reader.meta.first_key.as_slice() <= key
+                }
+            };
+            if relevant {
+                sources.push(MergeSource::Table(TableIter::scan(
+                    clock,
+                    db,
+                    Arc::clone(table),
+                    start_key,
+                    direction,
+                )));
+            }
+        }
+        Self {
+            merge: MergeIter::with_sources(sources, direction),
+        }
+    }
+
+    /// Next live entry in scan order.
+    pub fn next(&mut self, clock: &mut ThreadClock) -> Option<Entry> {
+        self.merge.next_live(clock)
+    }
+}

@@ -1,0 +1,57 @@
+//! # minilsm — a from-scratch LSM key-value store (RocksDB stand-in)
+//!
+//! The CrossPrefetch paper evaluates against RocksDB because RocksDB's read
+//! paths exercise every prefetching pathology: point gets touch bloom
+//! filters, block indexes, and single 4 KiB data blocks across several
+//! levels; `MultiGet` batches create batched-but-random locality; scans
+//! stream blocks forward; reverse scans stream blocks *backward*, defeating
+//! forward-only OS readahead; and production RocksDB famously disables OS
+//! prefetching on its database files (`APPonly`).
+//!
+//! This crate is a faithful miniature: a group-committed [`Wal`], a sorted
+//! [`MemTable`], page-aligned [`sstable`] files with pinned block indexes
+//! and Bloom filters, L0→L1 leveled compaction, merging scan iterators in
+//! both directions, and a [`DbBench`] driver with the six `db_bench`
+//! workloads the paper reports. All I/O flows through the
+//! [`crossprefetch`] runtime, so every Table 2 mechanism applies.
+//!
+//! # Example
+//!
+//! ```
+//! use crossprefetch::{Mode, Runtime};
+//! use minilsm::{Db, DbBench, DbOptions};
+//! use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+//!
+//! let os = Os::new(
+//!     OsConfig::with_memory_mb(64),
+//!     Device::new(DeviceConfig::local_nvme()),
+//!     FileSystem::new(FsKind::Ext4Like),
+//! );
+//! let runtime = Runtime::with_mode(os, Mode::PredictOpt);
+//! let mut clock = runtime.new_clock();
+//! let db = Db::create(runtime, &mut clock, DbOptions::default());
+//!
+//! let bench = DbBench::new(db, 10_000, 400);
+//! bench.fill_seq();
+//! let result = bench.read_random(4, 500, 42);
+//! assert!(result.kops() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+mod db;
+mod dbbench;
+pub mod iter;
+mod memtable;
+pub mod sstable;
+mod wal;
+
+pub use bloom::BloomFilter;
+pub use db::{Db, DbOptions, Table};
+pub use dbbench::{bench_key, bench_value, BenchResult, DbBench};
+pub use iter::{DbIter, MergeIter, ScanDirection, TableIter};
+pub use memtable::MemTable;
+pub use sstable::{SsTableBuilder, SsTableMeta, SsTableReader};
+pub use wal::Wal;

@@ -1,0 +1,512 @@
+//! Sorted String Tables: the on-disk format.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! [data block 0][data block 1]...[data block N-1]
+//! ```
+//!
+//! Each data block is at most [`BLOCK_BYTES`] and holds entries of the form
+//! `[klen: u16][vlen: u32][key][value]`, where `vlen == u32::MAX` encodes a
+//! tombstone. The block index (first key, offset, length per block) and the
+//! Bloom filter are built at write time and kept pinned in memory by the
+//! [`SsTableReader`], mirroring how RocksDB pins index and filter blocks —
+//! so a point lookup touches exactly one data block on the storage path.
+
+use std::sync::Arc;
+
+use crossprefetch::CpFile;
+use simclock::ThreadClock;
+
+use crate::bloom::BloomFilter;
+
+/// Target data-block size: 4 KiB, aligned with the OS page.
+pub const BLOCK_BYTES: usize = 4096;
+
+const TOMBSTONE: u32 = u32::MAX;
+
+/// One index entry: the block's first key and its byte extent.
+#[derive(Debug, Clone)]
+pub struct IndexEntry {
+    /// First key in the block.
+    pub first_key: Vec<u8>,
+    /// Byte offset of the block within the table file.
+    pub offset: u64,
+    /// Block length in bytes.
+    pub len: u32,
+}
+
+/// Builds an SSTable from sorted entries.
+#[derive(Debug, Default)]
+pub struct SsTableBuilder {
+    buf: Vec<u8>,
+    block_start: usize,
+    block_first_key: Option<Vec<u8>>,
+    index: Vec<IndexEntry>,
+    keys: Vec<Vec<u8>>,
+    first_key: Option<Vec<u8>>,
+    last_key: Option<Vec<u8>>,
+}
+
+impl SsTableBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry; keys must arrive in strictly increasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if keys are not strictly increasing.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) {
+        if let Some(last) = &self.last_key {
+            assert!(
+                key > last.as_slice(),
+                "keys must be strictly increasing: {:?} after {:?}",
+                String::from_utf8_lossy(key),
+                String::from_utf8_lossy(last)
+            );
+        }
+        let entry_len = 2 + 4 + key.len() + value.map_or(0, |v| v.len());
+        if self.buf.len() - self.block_start + entry_len > BLOCK_BYTES
+            && self.block_first_key.is_some()
+        {
+            self.seal_block();
+        }
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(key.to_vec());
+        }
+        self.buf
+            .extend_from_slice(&(key.len() as u16).to_le_bytes());
+        match value {
+            Some(v) => {
+                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(key);
+                self.buf.extend_from_slice(v);
+            }
+            None => {
+                self.buf.extend_from_slice(&TOMBSTONE.to_le_bytes());
+                self.buf.extend_from_slice(key);
+            }
+        }
+        if self.first_key.is_none() {
+            self.first_key = Some(key.to_vec());
+        }
+        self.last_key = Some(key.to_vec());
+        self.keys.push(key.to_vec());
+    }
+
+    fn seal_block(&mut self) {
+        let first = self
+            .block_first_key
+            .take()
+            .expect("seal_block requires an open block");
+        self.index.push(IndexEntry {
+            first_key: first,
+            offset: self.block_start as u64,
+            len: (self.buf.len() - self.block_start) as u32,
+        });
+        // Pad to the block boundary so each data block maps to whole pages.
+        let padded = self.buf.len().div_ceil(BLOCK_BYTES) * BLOCK_BYTES;
+        self.buf.resize(padded, 0);
+        self.block_start = self.buf.len();
+    }
+
+    /// Number of entries added so far.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no entries were added.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Current encoded size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finishes the table, writing data blocks, a serialized meta block
+    /// (index + bloom + key range), and a fixed footer through `file`,
+    /// and returning the in-memory metadata. The on-disk meta makes
+    /// tables self-describing, so a database can reopen them after a
+    /// restart ([`SsTableReader::open`]).
+    pub fn finish(mut self, clock: &mut ThreadClock, file: &CpFile) -> SsTableMeta {
+        if self.block_first_key.is_some() {
+            self.seal_block();
+        }
+        let bloom =
+            BloomFilter::from_keys(self.keys.iter().map(|k| k.as_slice()), self.keys.len(), 10);
+        let first_key = self.first_key.unwrap_or_default();
+        let last_key = self.last_key.unwrap_or_default();
+
+        // Meta block.
+        let meta_offset = self.buf.len() as u64;
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        for entry in &self.index {
+            meta.extend_from_slice(&(entry.first_key.len() as u16).to_le_bytes());
+            meta.extend_from_slice(&entry.first_key);
+            meta.extend_from_slice(&entry.offset.to_le_bytes());
+            meta.extend_from_slice(&entry.len.to_le_bytes());
+        }
+        for key in [&first_key, &last_key] {
+            meta.extend_from_slice(&(key.len() as u16).to_le_bytes());
+            meta.extend_from_slice(key);
+        }
+        meta.extend_from_slice(&(self.keys.len() as u64).to_le_bytes());
+        let bloom_bytes = bloom.to_bytes();
+        meta.extend_from_slice(&(bloom_bytes.len() as u32).to_le_bytes());
+        meta.extend_from_slice(&bloom_bytes);
+        self.buf.extend_from_slice(&meta);
+
+        // Footer.
+        self.buf.extend_from_slice(&meta_offset.to_le_bytes());
+        self.buf
+            .extend_from_slice(&(meta.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(&0u64.to_le_bytes()); // reserved
+        self.buf.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+
+        // Write in 1 MiB slices to mimic RocksDB's buffered table writes.
+        let mut offset = 0usize;
+        for chunk in self.buf.chunks(1 << 20) {
+            file.write(clock, offset as u64, chunk);
+            offset += chunk.len();
+        }
+        file.fsync(clock);
+        SsTableMeta {
+            index: Arc::new(self.index),
+            bloom: Arc::new(bloom),
+            first_key,
+            last_key,
+            entries: self.keys.len() as u64,
+            file_bytes: self.buf.len() as u64,
+        }
+    }
+}
+
+/// Footer magic for self-describing table files.
+pub const TABLE_MAGIC: u64 = 0xC0FF_EE42_5557_AB1E;
+
+/// Footer size in bytes.
+pub const TABLE_FOOTER_BYTES: u64 = 32;
+
+/// Pinned metadata of a finished table.
+#[derive(Debug, Clone)]
+pub struct SsTableMeta {
+    /// Block index (first key → extent), pinned in memory.
+    pub index: Arc<Vec<IndexEntry>>,
+    /// Bloom filter, pinned in memory.
+    pub bloom: Arc<BloomFilter>,
+    /// Smallest key in the table.
+    pub first_key: Vec<u8>,
+    /// Largest key in the table.
+    pub last_key: Vec<u8>,
+    /// Entry count.
+    pub entries: u64,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+impl SsTableMeta {
+    /// Whether `key` falls within the table's key range.
+    pub fn covers(&self, key: &[u8]) -> bool {
+        key >= self.first_key.as_slice() && key <= self.last_key.as_slice()
+    }
+
+    /// Index of the block that could contain `key`.
+    pub fn block_for(&self, key: &[u8]) -> Option<usize> {
+        if self.index.is_empty() || key < self.index[0].first_key.as_slice() {
+            return None;
+        }
+        let idx = self
+            .index
+            .partition_point(|e| e.first_key.as_slice() <= key)
+            .saturating_sub(1);
+        Some(idx)
+    }
+}
+
+/// A reader over one table file.
+#[derive(Debug)]
+pub struct SsTableReader {
+    /// Pinned metadata.
+    pub meta: SsTableMeta,
+    /// The open file handle (shared with the runtime's prefetcher).
+    pub file: CpFile,
+}
+
+/// One decoded entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// The key.
+    pub key: Vec<u8>,
+    /// The value, or `None` for a tombstone.
+    pub value: Option<Vec<u8>>,
+}
+
+/// Parses a serialized meta block (see [`SsTableBuilder::finish`]).
+fn parse_meta(data: &[u8], file_bytes: u64) -> Option<SsTableMeta> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let slice = data.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(slice)
+    };
+    let index_count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let mut index = Vec::with_capacity(index_count);
+    for _ in 0..index_count {
+        let klen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        let first_key = take(&mut pos, klen)?.to_vec();
+        let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        index.push(IndexEntry {
+            first_key,
+            offset,
+            len,
+        });
+    }
+    let mut range_keys = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let klen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+        range_keys.push(take(&mut pos, klen)?.to_vec());
+    }
+    let entries = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+    let bloom_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+    let bloom = BloomFilter::from_bytes(take(&mut pos, bloom_len)?)?;
+    if pos != data.len() {
+        return None;
+    }
+    let last_key = range_keys.pop()?;
+    let first_key = range_keys.pop()?;
+    Some(SsTableMeta {
+        index: Arc::new(index),
+        bloom: Arc::new(bloom),
+        first_key,
+        last_key,
+        entries,
+        file_bytes,
+    })
+}
+
+/// Decodes all entries of one data block.
+pub fn decode_block(data: &[u8]) -> Vec<Entry> {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    while pos + 6 <= data.len() {
+        let klen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        let vlen_raw =
+            u32::from_le_bytes([data[pos + 2], data[pos + 3], data[pos + 4], data[pos + 5]]);
+        pos += 6;
+        if klen == 0 {
+            break; // padding
+        }
+        let key = data[pos..pos + klen].to_vec();
+        pos += klen;
+        let value = if vlen_raw == TOMBSTONE {
+            None
+        } else {
+            let vlen = vlen_raw as usize;
+            let v = data[pos..pos + vlen].to_vec();
+            pos += vlen;
+            Some(v)
+        };
+        entries.push(Entry { key, value });
+    }
+    entries
+}
+
+impl SsTableReader {
+    /// Reopens a finished table file by parsing its footer and meta block
+    /// (restart/recovery path).
+    ///
+    /// Returns `None` if the file is not a well-formed table.
+    pub fn open(clock: &mut ThreadClock, file: CpFile) -> Option<Self> {
+        let size = file.size();
+        if size < TABLE_FOOTER_BYTES {
+            return None;
+        }
+        let footer = file.read(clock, size - TABLE_FOOTER_BYTES, TABLE_FOOTER_BYTES);
+        let magic = u64::from_le_bytes(footer[24..32].try_into().ok()?);
+        if magic != TABLE_MAGIC {
+            return None;
+        }
+        let meta_offset = u64::from_le_bytes(footer[0..8].try_into().ok()?);
+        let meta_len = u64::from_le_bytes(footer[8..16].try_into().ok()?);
+        if meta_offset + meta_len + TABLE_FOOTER_BYTES != size {
+            return None;
+        }
+        let meta_bytes = file.read(clock, meta_offset, meta_len);
+        let meta = parse_meta(&meta_bytes, size)?;
+        Some(Self { meta, file })
+    }
+
+    /// Reads and decodes one data block by index.
+    pub fn read_block(&self, clock: &mut ThreadClock, block_idx: usize) -> Vec<Entry> {
+        let entry = &self.meta.index[block_idx];
+        let data = self.file.read(clock, entry.offset, entry.len as u64);
+        decode_block(&data)
+    }
+
+    /// Point lookup: bloom check, index probe, one block read.
+    ///
+    /// Returns `Some(Some(v))` for a live value, `Some(None)` for a
+    /// tombstone, `None` when the key is not in this table.
+    pub fn get(&self, clock: &mut ThreadClock, key: &[u8]) -> Option<Option<Vec<u8>>> {
+        self.get_with(clock, key, &self.file)
+    }
+
+    /// Point lookup through a caller-supplied descriptor — used by the
+    /// database's per-thread handles so each reader thread's access
+    /// pattern stays coherent (§4.5).
+    pub fn get_with(
+        &self,
+        clock: &mut ThreadClock,
+        key: &[u8],
+        file: &CpFile,
+    ) -> Option<Option<Vec<u8>>> {
+        if !self.meta.covers(key) || !self.meta.bloom.may_contain(key) {
+            return None;
+        }
+        let block_idx = self.meta.block_for(key)?;
+        let entry = &self.meta.index[block_idx];
+        let data = file.read(clock, entry.offset, entry.len as u64);
+        let entries = decode_block(&data);
+        entries
+            .binary_search_by(|e| e.key.as_slice().cmp(key))
+            .ok()
+            .map(|i| entries[i].value.clone())
+    }
+
+    /// Number of data blocks.
+    pub fn block_count(&self) -> usize {
+        self.meta.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossprefetch::{Mode, Runtime};
+    use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+
+    fn runtime() -> Runtime {
+        let os = Os::new(
+            OsConfig::with_memory_mb(256),
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        Runtime::with_mode(os, Mode::OsOnly)
+    }
+
+    fn build_table(n: u64) -> (Runtime, SsTableReader, ThreadClock) {
+        let rt = runtime();
+        let mut clock = rt.new_clock();
+        let file = rt.create(&mut clock, "/t.sst").unwrap();
+        let mut builder = SsTableBuilder::new();
+        for i in 0..n {
+            let key = format!("key{i:010}");
+            if i % 97 == 13 {
+                builder.add(key.as_bytes(), None); // tombstone
+            } else {
+                let value = format!("value-{i}-{}", "x".repeat(100));
+                builder.add(key.as_bytes(), Some(value.as_bytes()));
+            }
+        }
+        let meta = builder.finish(&mut clock, &file);
+        let reader = SsTableReader { meta, file };
+        (rt, reader, clock)
+    }
+
+    #[test]
+    fn point_lookups_find_live_keys() {
+        let (_rt, reader, mut clock) = build_table(5_000);
+        for i in [0u64, 1, 999, 2500, 4999] {
+            if i % 97 == 13 {
+                continue;
+            }
+            let key = format!("key{i:010}");
+            let got = reader.get(&mut clock, key.as_bytes());
+            assert_eq!(
+                got,
+                Some(Some(format!("value-{i}-{}", "x".repeat(100)).into_bytes())),
+                "key {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tombstones_read_as_deleted() {
+        let (_rt, reader, mut clock) = build_table(5_000);
+        let key = format!("key{:010}", 13);
+        assert_eq!(reader.get(&mut clock, key.as_bytes()), Some(None));
+    }
+
+    #[test]
+    fn absent_keys_usually_skip_io() {
+        let (rt, reader, mut clock) = build_table(5_000);
+        let before = rt.os().stats().reads.get();
+        let mut io_lookups = 0;
+        for i in 0..1000 {
+            let key = format!("nope{i:010}");
+            if reader.get(&mut clock, key.as_bytes()).is_some() {
+                io_lookups += 1;
+            }
+        }
+        let reads_done = rt.os().stats().reads.get() - before;
+        assert_eq!(io_lookups, 0);
+        assert!(
+            reads_done < 100,
+            "bloom should suppress most absent-key block reads, did {reads_done}"
+        );
+    }
+
+    #[test]
+    fn blocks_are_page_aligned() {
+        let (_rt, reader, _clock) = build_table(5_000);
+        for entry in reader.meta.index.iter() {
+            assert_eq!(entry.offset % BLOCK_BYTES as u64, 0);
+            assert!(entry.len as usize <= BLOCK_BYTES);
+        }
+    }
+
+    #[test]
+    fn decode_block_round_trips() {
+        let mut builder = SsTableBuilder::new();
+        builder.add(b"alpha", Some(b"1"));
+        builder.add(b"beta", None);
+        builder.add(b"gamma", Some(b"3"));
+        // Encode one in-memory block directly.
+        let buf = builder.buf.clone();
+        let entries = decode_block(&buf);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].key, b"alpha");
+        assert_eq!(entries[1].value, None);
+        assert_eq!(entries[2].value, Some(b"3".to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn out_of_order_keys_rejected() {
+        let mut builder = SsTableBuilder::new();
+        builder.add(b"b", Some(b"1"));
+        builder.add(b"a", Some(b"2"));
+    }
+
+    #[test]
+    fn block_for_respects_boundaries() {
+        let (_rt, reader, mut clock) = build_table(5_000);
+        // Every key must be found in the block the index claims.
+        for i in (0..5_000u64).step_by(37) {
+            let key = format!("key{i:010}");
+            let idx = reader.meta.block_for(key.as_bytes()).unwrap();
+            let entries = reader.read_block(&mut clock, idx);
+            assert!(
+                entries.iter().any(|e| e.key == key.as_bytes()),
+                "key {i} not in claimed block {idx}"
+            );
+        }
+    }
+}

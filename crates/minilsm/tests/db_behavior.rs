@@ -1,0 +1,233 @@
+//! Database-level behaviour: correctness of gets, scans, compaction, and
+//! the workload driver across runtime modes.
+
+use crossprefetch::{Mode, Runtime};
+use minilsm::{bench_key, bench_value, Db, DbBench, DbIter, DbOptions, ScanDirection};
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+use std::sync::Arc;
+
+fn db_with(mode: Mode, memory_mb: u64) -> (Arc<Db>, simclock::ThreadClock) {
+    let os = Os::new(
+        OsConfig::with_memory_mb(memory_mb),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let runtime = Runtime::with_mode(os, mode);
+    let mut clock = runtime.new_clock();
+    let db = Db::create(runtime, &mut clock, DbOptions::default());
+    (db, clock)
+}
+
+#[test]
+fn put_get_across_flush_and_compaction() {
+    let os = Os::new(
+        OsConfig::with_memory_mb(256),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let runtime = Runtime::with_mode(os, Mode::OsOnly);
+    let mut clock = runtime.new_clock();
+    let db = Db::create(
+        runtime,
+        &mut clock,
+        DbOptions {
+            memtable_bytes: 1 << 20,
+            ..DbOptions::default()
+        },
+    );
+    let n = 60_000u64;
+    for i in 0..n {
+        db.put(&mut clock, &bench_key(i), &bench_value(i, 100));
+    }
+    db.flush(&mut clock);
+    assert!(
+        db.compactions.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "enough data to trigger compaction"
+    );
+    for i in (0..n).step_by(997) {
+        assert_eq!(
+            db.get(&mut clock, &bench_key(i)),
+            Some(bench_value(i, 100)),
+            "key {i}"
+        );
+    }
+    assert_eq!(db.get(&mut clock, &bench_key(n + 5)), None);
+}
+
+#[test]
+fn overwrites_return_latest_version() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 128);
+    db.put(&mut clock, b"k", b"v1");
+    db.flush(&mut clock);
+    db.put(&mut clock, b"k", b"v2");
+    db.flush(&mut clock);
+    db.put(&mut clock, b"k", b"v3");
+    assert_eq!(db.get(&mut clock, b"k"), Some(b"v3".to_vec()));
+}
+
+#[test]
+fn deletes_shadow_older_versions() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 128);
+    db.put(&mut clock, b"gone", b"v");
+    db.flush(&mut clock);
+    db.delete(&mut clock, b"gone");
+    assert_eq!(db.get(&mut clock, b"gone"), None);
+    db.flush(&mut clock);
+    assert_eq!(db.get(&mut clock, b"gone"), None);
+}
+
+#[test]
+fn forward_scan_is_sorted_and_complete() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 256);
+    let n = 20_000u64;
+    for i in 0..n {
+        db.put(&mut clock, &bench_key(i), &bench_value(i, 50));
+    }
+    db.flush(&mut clock);
+    let mut iter = DbIter::new(&db, &mut clock, None, ScanDirection::Forward);
+    let mut count = 0u64;
+    let mut prev: Option<Vec<u8>> = None;
+    while let Some(entry) = iter.next(&mut clock) {
+        if let Some(p) = &prev {
+            assert!(entry.key > *p, "scan must be strictly ascending");
+        }
+        prev = Some(entry.key);
+        count += 1;
+    }
+    assert_eq!(count, n);
+}
+
+#[test]
+fn reverse_scan_is_descending_and_complete() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 256);
+    let n = 20_000u64;
+    for i in 0..n {
+        db.put(&mut clock, &bench_key(i), &bench_value(i, 50));
+    }
+    db.flush(&mut clock);
+    let mut iter = DbIter::new(&db, &mut clock, None, ScanDirection::Reverse);
+    let mut count = 0u64;
+    let mut prev: Option<Vec<u8>> = None;
+    while let Some(entry) = iter.next(&mut clock) {
+        if let Some(p) = &prev {
+            assert!(entry.key < *p, "reverse scan must be strictly descending");
+        }
+        prev = Some(entry.key);
+        count += 1;
+    }
+    assert_eq!(count, n);
+}
+
+#[test]
+fn bounded_scan_starts_at_key() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 256);
+    for i in 0..10_000u64 {
+        db.put(&mut clock, &bench_key(i), b"v");
+    }
+    db.flush(&mut clock);
+    let start = bench_key(5_000);
+    let mut iter = DbIter::new(&db, &mut clock, Some(&start), ScanDirection::Forward);
+    let first = iter.next(&mut clock).unwrap();
+    assert_eq!(first.key, start);
+    let mut iter = DbIter::new(&db, &mut clock, Some(&start), ScanDirection::Reverse);
+    let first = iter.next(&mut clock).unwrap();
+    assert_eq!(first.key, start);
+}
+
+#[test]
+fn scan_sees_memtable_and_disk_merged() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 128);
+    db.put(&mut clock, b"b", b"disk");
+    db.flush(&mut clock);
+    db.put(&mut clock, b"a", b"mem");
+    db.put(&mut clock, b"b", b"mem-overrides");
+    let mut iter = DbIter::new(&db, &mut clock, None, ScanDirection::Forward);
+    let first = iter.next(&mut clock).unwrap();
+    let second = iter.next(&mut clock).unwrap();
+    assert_eq!(
+        (first.key.as_slice(), first.value.as_deref()),
+        (b"a".as_slice(), Some(b"mem".as_slice()))
+    );
+    assert_eq!(second.value.as_deref(), Some(b"mem-overrides".as_slice()));
+    assert!(iter.next(&mut clock).is_none());
+}
+
+#[test]
+fn multi_get_finds_all_present_keys() {
+    let (db, mut clock) = db_with(Mode::OsOnly, 256);
+    for i in 0..5_000u64 {
+        db.put(&mut clock, &bench_key(i), &bench_value(i, 64));
+    }
+    db.flush(&mut clock);
+    let mut keys: Vec<Vec<u8>> = (100..110).map(bench_key).collect();
+    let results = db.multi_get(&mut clock, &mut keys);
+    assert!(results.iter().all(|r| r.is_some()));
+}
+
+#[test]
+fn concurrent_readers_get_correct_values() {
+    let (db, mut clock) = db_with(Mode::PredictOpt, 512);
+    let n = 30_000u64;
+    for i in 0..n {
+        db.put(&mut clock, &bench_key(i), &bench_value(i, 64));
+    }
+    db.flush(&mut clock);
+    crossbeam::scope(|scope| {
+        for t in 0..8u64 {
+            let db = Arc::clone(&db);
+            scope.spawn(move |_| {
+                let mut clock = db.runtime().new_clock();
+                for j in 0..200u64 {
+                    let i = (t * 7919 + j * 131) % n;
+                    assert_eq!(
+                        db.get(&mut clock, &bench_key(i)),
+                        Some(bench_value(i, 64)),
+                        "thread {t} key {i}"
+                    );
+                }
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn bench_workloads_complete_in_all_modes() {
+    for mode in [Mode::AppOnly, Mode::OsOnly, Mode::PredictOpt] {
+        let (db, _clock) = db_with(mode, 256);
+        let bench = DbBench::new(db, 20_000, 100);
+        bench.fill_seq();
+        let rr = bench.read_random(4, 100, 7);
+        assert_eq!(rr.ops, 400, "{mode:?}");
+        let mr = bench.multiread_random(4, 25, 8, 7);
+        assert_eq!(mr.ops, 25 * 8 * 4, "{mode:?}");
+        let seq = bench.read_seq(4);
+        assert_eq!(seq.ops, 20_000, "{mode:?}");
+        let rev = bench.read_reverse(4);
+        assert_eq!(rev.ops, 20_000, "{mode:?}");
+        let rws = bench.read_while_scanning(4, 50, 7);
+        assert!(rws.ops > 0, "{mode:?}");
+    }
+}
+
+#[test]
+fn crossprefetch_beats_baselines_on_reverse_scan() {
+    // The paper's headline readreverse result: OS readahead only goes
+    // forward, CROSS-LIB detects the backward stride.
+    let run = |mode: Mode| {
+        let (db, _clock) = db_with(mode, 128);
+        let bench = DbBench::new(db, 60_000, 400);
+        bench.fill_seq();
+        // Drop the cache between fill and read, like the paper does.
+        let mut c = bench.db().runtime().new_clock();
+        bench.db().runtime().os().drop_caches(&mut c);
+        bench.db().runtime().drop_cache_view(&mut c);
+        bench.read_reverse(4).mbps()
+    };
+    let osonly = run(Mode::OsOnly);
+    let crossp = run(Mode::PredictOpt);
+    assert!(
+        crossp > osonly * 1.3,
+        "readreverse: CrossP {crossp:.1} MB/s should beat OSonly {osonly:.1} MB/s by >1.3x"
+    );
+}

@@ -1,0 +1,163 @@
+//! Property-based tests: the LSM store must behave exactly like a sorted
+//! map, under any interleaving of puts, deletes, flushes, and scans.
+
+use crossprefetch::{Mode, Runtime};
+use minilsm::{Db, DbIter, DbOptions, ScanDirection, SsTableBuilder, SsTableReader};
+use proptest::prelude::*;
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn db() -> (Arc<Db>, simclock::ThreadClock) {
+    let os = Os::new(
+        OsConfig::with_memory_mb(64),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let runtime = Runtime::with_mode(os, Mode::PredictOpt);
+    let mut clock = runtime.new_clock();
+    let db = Db::create(
+        runtime,
+        &mut clock,
+        DbOptions {
+            memtable_bytes: 16 << 10, // tiny: force frequent flushes
+            l0_compaction_trigger: 3,
+            sst_target_bytes: 64 << 10,
+            ..DbOptions::default()
+        },
+    );
+    (db, clock)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        1 => Just(Op::Flush),
+    ]
+}
+
+fn key_of(k: u16) -> Vec<u8> {
+    format!("key{k:05}").into_bytes()
+}
+
+fn value_of(v: u8) -> Vec<u8> {
+    vec![v; 64]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn db_matches_reference_btreemap(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let (db, mut clock) = db();
+        let mut reference: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&mut clock, &key_of(*k), &value_of(*v));
+                    reference.insert(key_of(*k), value_of(*v));
+                }
+                Op::Delete(k) => {
+                    db.delete(&mut clock, &key_of(*k));
+                    reference.remove(&key_of(*k));
+                }
+                Op::Flush => db.flush(&mut clock),
+            }
+        }
+        // Point lookups agree.
+        for k in 0u16..512 {
+            prop_assert_eq!(
+                db.get(&mut clock, &key_of(k)),
+                reference.get(&key_of(k)).cloned(),
+                "key {}", k
+            );
+        }
+        // Forward scan agrees.
+        let mut iter = DbIter::new(&db, &mut clock, None, ScanDirection::Forward);
+        let mut scanned = Vec::new();
+        while let Some(entry) = iter.next(&mut clock) {
+            scanned.push((entry.key, entry.value.unwrap()));
+        }
+        let expected: Vec<_> = reference.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+        // Reverse scan agrees.
+        let mut iter = DbIter::new(&db, &mut clock, None, ScanDirection::Reverse);
+        let mut reversed = Vec::new();
+        while let Some(entry) = iter.next(&mut clock) {
+            reversed.push((entry.key, entry.value.unwrap()));
+        }
+        let expected_rev: Vec<_> = reference.iter().rev().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(reversed, expected_rev);
+    }
+
+    #[test]
+    fn bounded_scans_agree_with_reference(
+        ops in prop::collection::vec(op_strategy(), 1..80),
+        bound in any::<u16>(),
+    ) {
+        let (db, mut clock) = db();
+        let mut reference: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&mut clock, &key_of(*k), &value_of(*v));
+                    reference.insert(key_of(*k), value_of(*v));
+                }
+                Op::Delete(k) => {
+                    db.delete(&mut clock, &key_of(*k));
+                    reference.remove(&key_of(*k));
+                }
+                Op::Flush => db.flush(&mut clock),
+            }
+        }
+        let start = key_of(bound % 512);
+        // Forward from `start`.
+        let mut iter = DbIter::new(&db, &mut clock, Some(&start), ScanDirection::Forward);
+        let got: Option<Vec<u8>> = iter.next(&mut clock).map(|e| e.key);
+        let expected = reference.range(start.clone()..).next().map(|(k, _)| k.clone());
+        prop_assert_eq!(got, expected);
+        // Reverse from `start`.
+        let mut iter = DbIter::new(&db, &mut clock, Some(&start), ScanDirection::Reverse);
+        let got: Option<Vec<u8>> = iter.next(&mut clock).map(|e| e.key);
+        let expected = reference.range(..=start).next_back().map(|(k, _)| k.clone());
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sstable_round_trips_sorted_entries(
+        entries in prop::collection::btree_map(
+            prop::collection::vec(1u8..=120, 1..20),
+            prop::option::of(prop::collection::vec(any::<u8>(), 0..200)),
+            1..60,
+        )
+    ) {
+        let os = Os::new(
+            OsConfig::with_memory_mb(32),
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let runtime = Runtime::with_mode(os, Mode::OsOnly);
+        let mut clock = runtime.new_clock();
+        let file = runtime.create(&mut clock, "/prop.sst").unwrap();
+        let mut builder = SsTableBuilder::new();
+        for (k, v) in &entries {
+            builder.add(k, v.as_deref());
+        }
+        let meta = builder.finish(&mut clock, &file);
+        let reader = SsTableReader { meta, file };
+        for (k, v) in &entries {
+            prop_assert_eq!(reader.get(&mut clock, k), Some(v.clone()), "key {:?}", k);
+        }
+        // A key outside the set is absent (or a clean bloom miss).
+        let absent = vec![200u8; 5];
+        prop_assert_eq!(reader.get(&mut clock, &absent), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Inode metadata and extent maps.
+
+use crate::Run;
+
+/// Identifier of a file in the simulated filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeId(pub u64);
+
+impl std::fmt::Display for InodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inode#{}", self.0)
+    }
+}
+
+/// One logically- and physically-contiguous mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// First logical block covered.
+    pub lstart: u64,
+    /// First physical block backing it.
+    pub pstart: u64,
+    /// Number of blocks.
+    pub blocks: u64,
+}
+
+impl Extent {
+    /// Whether this extent covers logical block `lblock`.
+    pub fn contains(&self, lblock: u64) -> bool {
+        (self.lstart..self.lstart + self.blocks).contains(&lblock)
+    }
+}
+
+/// Per-file metadata: size and the extent map, kept sorted by `lstart`.
+#[derive(Debug)]
+pub struct InodeMeta {
+    /// The owning inode.
+    pub ino: InodeId,
+    /// Logical size in bytes.
+    pub size_bytes: u64,
+    /// Sorted, non-overlapping extents.
+    pub extents: Vec<Extent>,
+}
+
+impl InodeMeta {
+    /// Fresh empty metadata.
+    pub fn new(ino: InodeId) -> Self {
+        Self {
+            ino,
+            size_bytes: 0,
+            extents: Vec::new(),
+        }
+    }
+
+    /// Maps one logical block to the physical run starting there, bounded
+    /// by the containing extent. Returns `None` for holes.
+    pub fn map_one(&self, lblock: u64) -> Option<Run> {
+        let idx = self
+            .extents
+            .partition_point(|e| e.lstart + e.blocks <= lblock);
+        let extent = self.extents.get(idx)?;
+        if !extent.contains(lblock) {
+            return None;
+        }
+        let offset = lblock - extent.lstart;
+        Some(Run {
+            pstart: extent.pstart + offset,
+            blocks: extent.blocks - offset,
+        })
+    }
+
+    /// Inserts an extent, merging with a physically- and logically-adjacent
+    /// predecessor when possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the extent overlaps an existing mapping; the
+    /// allocator only fills holes.
+    pub fn insert_extent(&mut self, extent: Extent) {
+        debug_assert!(
+            (extent.lstart..extent.lstart + extent.blocks).all(|l| self.map_one(l).is_none()),
+            "extent overlaps existing mapping"
+        );
+        let idx = self.extents.partition_point(|e| e.lstart < extent.lstart);
+        // Try merging with the previous extent.
+        if idx > 0 {
+            let prev = &mut self.extents[idx - 1];
+            if prev.lstart + prev.blocks == extent.lstart
+                && prev.pstart + prev.blocks == extent.pstart
+            {
+                prev.blocks += extent.blocks;
+                // Try merging the grown prev with the next extent.
+                if idx < self.extents.len() {
+                    let next = self.extents[idx];
+                    let prev = self.extents[idx - 1];
+                    if prev.lstart + prev.blocks == next.lstart
+                        && prev.pstart + prev.blocks == next.pstart
+                    {
+                        self.extents[idx - 1].blocks += next.blocks;
+                        self.extents.remove(idx);
+                    }
+                }
+                return;
+            }
+        }
+        self.extents.insert(idx, extent);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_with(extents: &[(u64, u64, u64)]) -> InodeMeta {
+        let mut meta = InodeMeta::new(InodeId(0));
+        for &(l, p, n) in extents {
+            meta.insert_extent(Extent {
+                lstart: l,
+                pstart: p,
+                blocks: n,
+            });
+        }
+        meta
+    }
+
+    #[test]
+    fn map_one_within_extent() {
+        let meta = meta_with(&[(0, 100, 10)]);
+        let run = meta.map_one(3).unwrap();
+        assert_eq!((run.pstart, run.blocks), (103, 7));
+    }
+
+    #[test]
+    fn map_one_hole_is_none() {
+        let meta = meta_with(&[(0, 100, 10), (20, 200, 5)]);
+        assert!(meta.map_one(15).is_none());
+        assert!(meta.map_one(25).is_none());
+        assert_eq!(meta.map_one(20).unwrap().pstart, 200);
+    }
+
+    #[test]
+    fn adjacent_extents_merge() {
+        let meta = meta_with(&[(0, 100, 10), (10, 110, 5)]);
+        assert_eq!(meta.extents.len(), 1);
+        assert_eq!(meta.extents[0].blocks, 15);
+    }
+
+    #[test]
+    fn logically_adjacent_but_physically_distant_do_not_merge() {
+        let meta = meta_with(&[(0, 100, 10), (10, 500, 5)]);
+        assert_eq!(meta.extents.len(), 2);
+    }
+
+    #[test]
+    fn fill_between_merges_three_ways() {
+        // [0,10) and [20,30) exist; filling [10,20) contiguously merges all.
+        let meta = meta_with(&[(0, 100, 10), (20, 120, 10), (10, 110, 10)]);
+        assert_eq!(meta.extents.len(), 1);
+        assert_eq!(meta.extents[0].blocks, 30);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_sorted() {
+        let meta = meta_with(&[(20, 500, 5), (0, 100, 5)]);
+        assert!(meta.extents.windows(2).all(|w| w[0].lstart < w[1].lstart));
+    }
+
+    #[test]
+    fn display_inode() {
+        assert_eq!(InodeId(7).to_string(), "inode#7");
+    }
+}

@@ -1,0 +1,92 @@
+//! Flat hierarchical namespace (path → inode).
+
+use std::collections::HashMap;
+
+use crate::InodeId;
+
+/// A flat map from absolute path strings to inodes.
+///
+/// The simulation does not need directory inodes or permission checks —
+/// only create/lookup/unlink/list, which the metadata-intensive Filebench
+/// personality exercises at thousands-of-files scale.
+#[derive(Debug, Default)]
+pub struct Namespace {
+    entries: HashMap<String, InodeId>,
+}
+
+impl Namespace {
+    /// Creates an empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolves a path.
+    pub fn lookup(&self, path: &str) -> Option<InodeId> {
+        self.entries.get(path).copied()
+    }
+
+    /// Binds `path` to `ino`, replacing any prior binding.
+    pub fn insert(&mut self, path: &str, ino: InodeId) {
+        self.entries.insert(path.to_string(), ino);
+    }
+
+    /// Unbinds `path`, returning the inode it named.
+    pub fn remove(&mut self, path: &str) -> Option<InodeId> {
+        self.entries.remove(path)
+    }
+
+    /// All paths starting with `prefix`, in arbitrary order.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        self.entries
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of bound paths.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no paths are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ns = Namespace::new();
+        assert!(ns.is_empty());
+        ns.insert("/a/b", InodeId(1));
+        assert_eq!(ns.lookup("/a/b"), Some(InodeId(1)));
+        assert_eq!(ns.remove("/a/b"), Some(InodeId(1)));
+        assert_eq!(ns.lookup("/a/b"), None);
+        assert_eq!(ns.remove("/a/b"), None);
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut ns = Namespace::new();
+        ns.insert("/a", InodeId(1));
+        ns.insert("/a", InodeId(2));
+        assert_eq!(ns.lookup("/a"), Some(InodeId(2)));
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn list_prefix_matches_only_prefix() {
+        let mut ns = Namespace::new();
+        ns.insert("/x/1", InodeId(1));
+        ns.insert("/x/2", InodeId(2));
+        ns.insert("/y/1", InodeId(3));
+        let mut hits = ns.list_prefix("/x/");
+        hits.sort();
+        assert_eq!(hits, vec!["/x/1", "/x/2"]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Per-inode page-cache state: presence bitmap, recency, readiness, dirt.
+//!
+//! One [`InodeCache`] plays the role of Linux's per-file Xarray *and* of the
+//! CROSS-OS per-inode cache-state bitmap: page presence is tracked as one
+//! bit per page, while recency (`touch`), in-flight-I/O completion time
+//! (`ready`), and dirtiness are tracked at 64-page *word* granularity
+//! (256 KiB), which is also the granularity the OS LRU reclaims at.
+//!
+//! Virtual-time contention is charged on two separate resources, mirroring
+//! the paper's delineated paths: `tree_lock` models the per-file cache-tree
+//! lock taken by regular I/O and by baseline prefetching; `bitmap_lock`
+//! models the CROSS-OS bitmap rw-lock taken by `readahead_info`.
+
+use parking_lot::RwLock;
+use simclock::{Counter, RwContention};
+use simfs::InodeId;
+
+/// Pages per bitmap word (and per recency/eviction unit).
+pub const PAGES_PER_WORD: u64 = 64;
+
+/// A contiguous page range `[start, end)` within a file.
+pub type PageRange = (u64, u64);
+
+/// Mutable cache state, guarded by the inode's real lock.
+#[derive(Debug, Default)]
+pub struct CacheState {
+    /// Presence bitmap, one bit per page.
+    words: Vec<u64>,
+    /// Last-access virtual time per word.
+    touch: Vec<u64>,
+    /// Completion time of in-flight fills per word (0 = ready).
+    ready: Vec<u64>,
+    /// Dirty bitmap, one bit per page.
+    dirty: Vec<u64>,
+    /// Total present pages.
+    resident: u64,
+    /// Total dirty pages.
+    dirty_pages: u64,
+}
+
+impl CacheState {
+    fn ensure_pages(&mut self, pages: u64) {
+        let need = (pages.div_ceil(PAGES_PER_WORD)) as usize;
+        if need > self.words.len() {
+            self.words.resize(need, 0);
+            self.touch.resize(need, 0);
+            self.ready.resize(need, 0);
+            self.dirty.resize(need, 0);
+        }
+    }
+
+    /// Whether `page` is present.
+    pub fn is_present(&self, page: u64) -> bool {
+        let (w, b) = (page / PAGES_PER_WORD, page % PAGES_PER_WORD);
+        self.words
+            .get(w as usize)
+            .is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of present pages in `[start, end)`.
+    pub fn present_in(&self, start: u64, end: u64) -> u64 {
+        (start..end).filter(|&p| self.is_present(p)).count() as u64
+    }
+
+    /// Maximal missing runs within `[start, end)`.
+    pub fn missing_runs(&self, start: u64, end: u64) -> Vec<PageRange> {
+        let mut runs = Vec::new();
+        let mut run_start = None;
+        for page in start..end {
+            if self.is_present(page) {
+                if let Some(s) = run_start.take() {
+                    runs.push((s, page));
+                }
+            } else if run_start.is_none() {
+                run_start = Some(page);
+            }
+        }
+        if let Some(s) = run_start {
+            runs.push((s, end));
+        }
+        runs
+    }
+
+    /// Inserts `[start, end)`, recording recency `now` and fill completion
+    /// `ready_at`. Returns the number of pages newly inserted.
+    pub fn insert_range(&mut self, start: u64, end: u64, now: u64, ready_at: u64) -> u64 {
+        if end <= start {
+            return 0;
+        }
+        self.ensure_pages(end);
+        let mut inserted = 0;
+        for page in start..end {
+            let (w, b) = ((page / PAGES_PER_WORD) as usize, page % PAGES_PER_WORD);
+            if self.words[w] & (1 << b) == 0 {
+                self.words[w] |= 1 << b;
+                inserted += 1;
+            }
+            self.touch[w] = self.touch[w].max(now);
+            self.ready[w] = self.ready[w].max(ready_at);
+        }
+        self.resident += inserted;
+        inserted
+    }
+
+    /// Marks `[start, end)` recently used without changing presence.
+    pub fn touch_range(&mut self, start: u64, end: u64, now: u64) {
+        if end <= start {
+            return;
+        }
+        self.ensure_pages(end);
+        let first = (start / PAGES_PER_WORD) as usize;
+        let last = ((end - 1) / PAGES_PER_WORD) as usize;
+        for w in first..=last {
+            self.touch[w] = self.touch[w].max(now);
+        }
+    }
+
+    /// Latest in-flight fill completion affecting `[start, end)`.
+    pub fn ready_max(&self, start: u64, end: u64) -> u64 {
+        if end <= start || self.words.is_empty() {
+            return 0;
+        }
+        let first = (start / PAGES_PER_WORD) as usize;
+        let last = (((end - 1) / PAGES_PER_WORD) as usize).min(self.words.len() - 1);
+        if first >= self.words.len() {
+            return 0;
+        }
+        self.ready[first..=last].iter().copied().max().unwrap_or(0)
+    }
+
+    /// Lowers the in-flight readiness of `[start, end)` to at most `ns` —
+    /// used when a demand read overtakes a queued prefetch stream.
+    pub fn lower_ready(&mut self, start: u64, end: u64, ns: u64) {
+        if end <= start || self.words.is_empty() {
+            return;
+        }
+        let first = (start / PAGES_PER_WORD) as usize;
+        let last = (((end - 1) / PAGES_PER_WORD) as usize).min(self.words.len() - 1);
+        if first >= self.words.len() {
+            return;
+        }
+        for w in first..=last {
+            self.ready[w] = self.ready[w].min(ns);
+        }
+    }
+
+    /// Marks pages dirty (they must be present). Returns newly dirty count.
+    pub fn mark_dirty(&mut self, start: u64, end: u64) -> u64 {
+        self.ensure_pages(end);
+        let mut newly = 0;
+        for page in start..end {
+            let (w, b) = ((page / PAGES_PER_WORD) as usize, page % PAGES_PER_WORD);
+            debug_assert!(self.words[w] & (1 << b) != 0, "dirtying absent page");
+            if self.dirty[w] & (1 << b) == 0 {
+                self.dirty[w] |= 1 << b;
+                newly += 1;
+            }
+        }
+        self.dirty_pages += newly;
+        newly
+    }
+
+    /// Clears all dirty bits, returning how many pages were dirty.
+    pub fn clear_dirty(&mut self) -> u64 {
+        for word in &mut self.dirty {
+            *word = 0;
+        }
+        std::mem::take(&mut self.dirty_pages)
+    }
+
+    /// Removes `[start, end)` from the cache. Returns `(removed, dirty)`
+    /// counts; dirty pages removed must be written back by the caller.
+    pub fn remove_range(&mut self, start: u64, end: u64) -> (u64, u64) {
+        let mut removed = 0;
+        let mut dirty = 0;
+        for page in start..end.min(self.words.len() as u64 * PAGES_PER_WORD) {
+            let (w, b) = ((page / PAGES_PER_WORD) as usize, page % PAGES_PER_WORD);
+            if self.words[w] & (1 << b) != 0 {
+                self.words[w] &= !(1 << b);
+                removed += 1;
+                if self.dirty[w] & (1 << b) != 0 {
+                    self.dirty[w] &= !(1 << b);
+                    dirty += 1;
+                }
+            }
+        }
+        self.resident -= removed;
+        self.dirty_pages -= dirty;
+        (removed, dirty)
+    }
+
+    /// Evicts one whole word by index. Returns `(removed, dirty)`.
+    pub fn evict_word(&mut self, widx: usize) -> (u64, u64) {
+        if widx >= self.words.len() {
+            return (0, 0);
+        }
+        let removed = self.words[widx].count_ones() as u64;
+        let dirty = self.dirty[widx].count_ones() as u64;
+        self.words[widx] = 0;
+        self.dirty[widx] = 0;
+        self.resident -= removed;
+        self.dirty_pages -= dirty;
+        (removed, dirty)
+    }
+
+    /// Pages currently present.
+    pub fn resident(&self) -> u64 {
+        self.resident
+    }
+
+    /// Pages currently dirty.
+    pub fn dirty_pages(&self) -> u64 {
+        self.dirty_pages
+    }
+
+    /// Word count (file coverage / [`PAGES_PER_WORD`], rounded up).
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `(word index, last touch, resident pages)` for every non-empty word
+    /// — the reclaim scan input.
+    pub fn word_summaries(&self) -> Vec<(usize, u64, u64)> {
+        self.words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, &w)| (i, self.touch[i], w.count_ones() as u64))
+            .collect()
+    }
+
+    /// Copies the presence bitmap covering pages `[start, end)` into words
+    /// (LSB of word 0 = page `start` rounded down to a word boundary).
+    pub fn snapshot_words(&self, start: u64, end: u64) -> Vec<u64> {
+        if end <= start {
+            return Vec::new();
+        }
+        let first = (start / PAGES_PER_WORD) as usize;
+        let last = ((end - 1) / PAGES_PER_WORD) as usize;
+        (first..=last)
+            .map(|w| self.words.get(w).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+/// The per-inode cache object: real state plus contention models and
+/// counters.
+#[derive(Debug)]
+pub struct InodeCache {
+    /// The file this cache belongs to.
+    pub ino: InodeId,
+    /// Real state (presence/recency/readiness/dirt).
+    pub state: RwLock<CacheState>,
+    /// Virtual-time model of the per-file cache-tree lock (regular I/O and
+    /// baseline prefetch path).
+    pub tree_lock: RwContention,
+    /// Virtual-time model of the CROSS-OS bitmap rw-lock (delineated
+    /// prefetch path).
+    pub bitmap_lock: RwContention,
+    /// Page-cache hits observed for this file.
+    pub hits: Counter,
+    /// Page-cache misses observed for this file.
+    pub misses: Counter,
+}
+
+impl InodeCache {
+    /// Creates an empty cache for `ino`.
+    pub fn new(ino: InodeId) -> Self {
+        Self {
+            ino,
+            state: RwLock::new(CacheState::default()),
+            tree_lock: RwContention::new("cache-tree"),
+            bitmap_lock: RwContention::new("cross-bitmap"),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// Hit ratio in `[0, 1]`, or 1.0 when no accesses were recorded.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.hits.get() as f64;
+        let misses = self.misses.get() as f64;
+        if hits + misses == 0.0 {
+            return 1.0;
+        }
+        hits / (hits + misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_presence() {
+        let mut cache = CacheState::default();
+        assert!(!cache.is_present(5));
+        assert_eq!(cache.insert_range(4, 8, 10, 20), 4);
+        assert!(cache.is_present(5));
+        assert_eq!(cache.resident(), 4);
+        // Reinsert is idempotent.
+        assert_eq!(cache.insert_range(4, 8, 11, 21), 0);
+        assert_eq!(cache.resident(), 4);
+    }
+
+    #[test]
+    fn missing_runs_splits_correctly() {
+        let mut cache = CacheState::default();
+        cache.insert_range(2, 4, 0, 0);
+        cache.insert_range(6, 7, 0, 0);
+        assert_eq!(cache.missing_runs(0, 10), vec![(0, 2), (4, 6), (7, 10)]);
+        assert_eq!(cache.missing_runs(2, 4), vec![]);
+    }
+
+    #[test]
+    fn present_in_counts() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 5, 0, 0);
+        assert_eq!(cache.present_in(0, 10), 5);
+        assert_eq!(cache.present_in(3, 4), 1);
+    }
+
+    #[test]
+    fn ready_tracks_in_flight_fills() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 64, 0, 5_000);
+        cache.insert_range(64, 128, 0, 9_000);
+        assert_eq!(cache.ready_max(0, 64), 5_000);
+        assert_eq!(cache.ready_max(0, 128), 9_000);
+        assert_eq!(cache.ready_max(200, 300), 0);
+    }
+
+    #[test]
+    fn dirty_lifecycle() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 10, 0, 0);
+        assert_eq!(cache.mark_dirty(0, 4), 4);
+        assert_eq!(cache.mark_dirty(2, 6), 2);
+        assert_eq!(cache.dirty_pages(), 6);
+        assert_eq!(cache.clear_dirty(), 6);
+        assert_eq!(cache.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn remove_range_returns_dirty_count() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 10, 0, 0);
+        cache.mark_dirty(0, 3);
+        let (removed, dirty) = cache.remove_range(0, 5);
+        assert_eq!((removed, dirty), (5, 3));
+        assert_eq!(cache.resident(), 5);
+        assert_eq!(cache.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn remove_beyond_bitmap_is_safe() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 4, 0, 0);
+        let (removed, dirty) = cache.remove_range(0, 1_000_000);
+        assert_eq!((removed, dirty), (4, 0));
+    }
+
+    #[test]
+    fn evict_word_clears_whole_word() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 100, 7, 0);
+        let (removed, _) = cache.evict_word(0);
+        assert_eq!(removed, 64);
+        assert_eq!(cache.resident(), 36);
+        assert!(!cache.is_present(0));
+        assert!(cache.is_present(64));
+    }
+
+    #[test]
+    fn word_summaries_report_touch_and_count() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 10, 100, 0);
+        cache.insert_range(64, 70, 200, 0);
+        let summaries = cache.word_summaries();
+        assert_eq!(summaries, vec![(0, 100, 10), (1, 200, 6)]);
+    }
+
+    #[test]
+    fn touch_updates_recency_without_presence() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 10, 100, 0);
+        cache.touch_range(0, 10, 500);
+        assert_eq!(cache.word_summaries()[0].1, 500);
+        assert_eq!(cache.resident(), 10);
+    }
+
+    #[test]
+    fn snapshot_words_window() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 2, 0, 0); // word 0: bits 0,1
+        cache.insert_range(65, 66, 0, 0); // word 1: bit 1
+        let snap = cache.snapshot_words(0, 128);
+        assert_eq!(snap, vec![0b11, 0b10]);
+        // Window beyond coverage yields zeros.
+        assert_eq!(cache.snapshot_words(640, 704), vec![0]);
+    }
+
+    #[test]
+    fn hit_ratio_defaults_to_one() {
+        let cache = InodeCache::new(InodeId(0));
+        assert_eq!(cache.hit_ratio(), 1.0);
+        cache.hits.add(3);
+        cache.misses.add(1);
+        assert!((cache.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! OS-level configuration.
+
+use simclock::{CostModel, NS_PER_SEC};
+
+/// Tunables of the simulated OS.
+#[derive(Debug, Clone)]
+pub struct OsConfig {
+    /// Page-cache capacity in pages (the machine's memory budget).
+    pub memory_budget_pages: u64,
+    /// Default per-window readahead cap in pages (Linux: 32 = 128 KiB).
+    pub ra_max_pages: u64,
+    /// Hard ceiling any `readahead_info` limit override may reach, in
+    /// pages. The paper caps relaxed prefetch requests at 64 MiB.
+    pub crossos_max_prefetch_pages: u64,
+    /// Fraction of the budget to free when reclaim triggers (reclaim runs
+    /// until `resident <= budget * (1 - reclaim_slack)`).
+    pub reclaim_slack: f64,
+    /// Dirty pages allowed before the write path forces writeback.
+    pub dirty_limit_pages: u64,
+    /// Pages a fault pulls in around an `mmap` access (Linux fault-around).
+    pub fault_around_pages: u64,
+    /// Inactivity horizon after which a file is reclaim-preferred (30 s in
+    /// both Linux and the paper's CROSS-LIB).
+    pub inactive_after_ns: u64,
+    /// Per-inode LRU reclaim (the paper's §4.6 *future work*): instead of
+    /// a global oldest-word scan, reclaim drains the coldest words of the
+    /// most-resident files first, bounding the scan to few inodes.
+    pub per_inode_lru: bool,
+    /// Software operation costs.
+    pub costs: CostModel,
+}
+
+impl OsConfig {
+    /// A machine with `memory_mb` of page cache and paper-default knobs.
+    pub fn with_memory_mb(memory_mb: u64) -> Self {
+        Self {
+            memory_budget_pages: memory_mb * 256, // 4 KiB pages
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        Self {
+            memory_budget_pages: 64 * 256, // 64 MiB — tests override
+            ra_max_pages: 32,
+            crossos_max_prefetch_pages: (64 << 20) / 4096,
+            reclaim_slack: 0.05,
+            dirty_limit_pages: 4096,
+            fault_around_pages: 16,
+            inactive_after_ns: 30 * NS_PER_SEC,
+            per_inode_lru: false,
+            costs: CostModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_memory_mb_converts_pages() {
+        let config = OsConfig::with_memory_mb(128);
+        assert_eq!(config.memory_budget_pages, 128 * 256);
+        assert_eq!(config.ra_max_pages, 32);
+    }
+
+    #[test]
+    fn default_ra_cap_is_128kib() {
+        let config = OsConfig::default();
+        assert_eq!(config.ra_max_pages * 4096, 128 * 1024);
+    }
+}

@@ -1,0 +1,810 @@
+//! The OS facade: file descriptors, read/write/prefetch syscalls, reclaim.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use simclock::{FcfsResource, GlobalClock, ThreadClock};
+use simfs::{FileSystem, FsError, InodeId};
+use simstore::{Device, IoPriority, BLOCK_SIZE};
+
+use crate::cache::InodeCache;
+use crate::readahead::{RaMode, RaState};
+use crate::reclaim::{select_victims, MemoryManager};
+use crate::stats::OsStats;
+use crate::OsConfig;
+
+/// Page size in bytes (same as the device block size).
+pub const PAGE_SIZE: u64 = BLOCK_SIZE as u64;
+
+/// A file descriptor handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fd(pub usize);
+
+/// `posix_fadvise`-style access hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Reset to heuristic readahead.
+    Normal,
+    /// Expect sequential access: double the readahead cap.
+    Sequential,
+    /// Expect random access: disable readahead.
+    Random,
+    /// Populate the cache for a range now (like `readahead(2)`).
+    WillNeed,
+    /// Drop cached pages for a range.
+    DontNeed,
+}
+
+/// Per-open-file state.
+#[derive(Debug)]
+pub struct FdEntry {
+    /// The file's inode.
+    pub ino: InodeId,
+    ra: Mutex<RaState>,
+}
+
+impl FdEntry {
+    /// Current readahead mode override of this descriptor.
+    pub fn ra_mode(&self) -> RaMode {
+        self.ra.lock().mode()
+    }
+}
+
+/// Result of a read: page-level hit/miss accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Pages the read covered.
+    pub pages: u64,
+    /// Pages found in the cache.
+    pub hit_pages: u64,
+    /// Pages that required device I/O on the critical path.
+    pub miss_pages: u64,
+    /// Bytes delivered.
+    pub bytes: u64,
+}
+
+/// The simulated operating system.
+///
+/// All syscall-like methods charge virtual time to the caller's
+/// [`ThreadClock`]; real state is protected by fine-grained `parking_lot`
+/// locks, so any number of worker threads may call in concurrently.
+#[derive(Debug)]
+pub struct Os {
+    config: OsConfig,
+    device: Arc<Device>,
+    fs: Arc<FileSystem>,
+    global: Arc<GlobalClock>,
+    caches: RwLock<Vec<Arc<InodeCache>>>,
+    fds: RwLock<Vec<Arc<FdEntry>>>,
+    mem: MemoryManager,
+    /// Process address-space lock (taken by fincore/mincore and faults).
+    mmap_lock: FcfsResource,
+    stats: OsStats,
+}
+
+impl Os {
+    /// Boots an OS over a device and filesystem.
+    pub fn new(config: OsConfig, device: Device, fs: FileSystem) -> Arc<Self> {
+        let mem = MemoryManager::new(config.memory_budget_pages);
+        Arc::new(Self {
+            config,
+            device: Arc::new(device),
+            fs: Arc::new(fs),
+            global: Arc::new(GlobalClock::new()),
+            caches: RwLock::new(Vec::new()),
+            fds: RwLock::new(Vec::new()),
+            mem,
+            mmap_lock: FcfsResource::new("mmap-sem"),
+            stats: OsStats::default(),
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &OsConfig {
+        &self.config
+    }
+
+    /// The storage device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The filesystem.
+    pub fn fs(&self) -> &Arc<FileSystem> {
+        &self.fs
+    }
+
+    /// The global virtual clock all worker clocks should attach to.
+    pub fn global(&self) -> &Arc<GlobalClock> {
+        &self.global
+    }
+
+    /// A fresh worker clock attached to this OS's global clock.
+    pub fn new_clock(&self) -> ThreadClock {
+        ThreadClock::new(Arc::clone(&self.global))
+    }
+
+    /// Memory accounting.
+    pub fn mem(&self) -> &MemoryManager {
+        &self.mem
+    }
+
+    /// Aggregate OS counters.
+    pub fn stats(&self) -> &OsStats {
+        &self.stats
+    }
+
+    /// The address-space lock resource (exposed for telemetry/tests).
+    pub fn mmap_lock(&self) -> &FcfsResource {
+        &self.mmap_lock
+    }
+
+    /// Cache object for an inode (creating the slot if needed).
+    pub fn cache(&self, ino: InodeId) -> Arc<InodeCache> {
+        {
+            let caches = self.caches.read();
+            if let Some(cache) = caches.get(ino.0 as usize) {
+                return Arc::clone(cache);
+            }
+        }
+        let mut caches = self.caches.write();
+        while caches.len() <= ino.0 as usize {
+            let next = InodeId(caches.len() as u64);
+            caches.push(Arc::new(InodeCache::new(next)));
+        }
+        Arc::clone(&caches[ino.0 as usize])
+    }
+
+    /// All cache objects (reclaim scan, telemetry).
+    pub fn all_caches(&self) -> Vec<Arc<InodeCache>> {
+        self.caches.read().clone()
+    }
+
+    // ----- namespace ------------------------------------------------------
+
+    /// Creates an empty file and opens it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::AlreadyExists`].
+    pub fn create(&self, clock: &mut ThreadClock, path: &str) -> Result<Fd, FsError> {
+        clock.advance(self.config.costs.syscall_ns);
+        let ino = self.fs.create(path)?;
+        Ok(self.install_fd(ino))
+    }
+
+    /// Creates a file with `bytes` preallocated (fallocate-style) and opens
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::AlreadyExists`].
+    pub fn create_sized(
+        &self,
+        clock: &mut ThreadClock,
+        path: &str,
+        bytes: u64,
+    ) -> Result<Fd, FsError> {
+        clock.advance(self.config.costs.syscall_ns);
+        let ino = self.fs.create_sized(path, bytes)?;
+        Ok(self.install_fd(ino))
+    }
+
+    /// Opens an existing file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if `path` names nothing.
+    pub fn open(&self, clock: &mut ThreadClock, path: &str) -> Result<Fd, FsError> {
+        clock.advance(self.config.costs.syscall_ns);
+        let ino = self
+            .fs
+            .lookup(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        Ok(self.install_fd(ino))
+    }
+
+    /// Closes a descriptor. (Descriptor slots are not recycled; the entry
+    /// simply stops being used.)
+    pub fn close(&self, clock: &mut ThreadClock, _fd: Fd) {
+        clock.advance(self.config.costs.syscall_ns);
+    }
+
+    /// Removes a file, dropping its cached pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsError::NotFound`] if `path` names nothing.
+    pub fn unlink(&self, clock: &mut ThreadClock, path: &str) -> Result<(), FsError> {
+        clock.advance(self.config.costs.syscall_ns);
+        let ino = self.fs.unlink(path)?;
+        let cache = self.cache(ino);
+        let (removed, dirty) = cache.state.write().remove_range(0, u64::MAX / 2);
+        self.mem.note_removed(removed);
+        self.mem.note_cleaned(dirty);
+        Ok(())
+    }
+
+    fn install_fd(&self, ino: InodeId) -> Fd {
+        // Ensure the cache slot exists before I/O begins.
+        let _ = self.cache(ino);
+        let mut fds = self.fds.write();
+        let fd = Fd(fds.len());
+        fds.push(Arc::new(FdEntry {
+            ino,
+            ra: Mutex::new(RaState::new(self.config.ra_max_pages)),
+        }));
+        fd
+    }
+
+    /// Resolves a descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling descriptor — always a harness bug.
+    pub fn fd_entry(&self, fd: Fd) -> Arc<FdEntry> {
+        Arc::clone(&self.fds.read()[fd.0])
+    }
+
+    /// Inode behind a descriptor.
+    pub fn fd_inode(&self, fd: Fd) -> InodeId {
+        self.fd_entry(fd).ino
+    }
+
+    /// Size in bytes of the file behind `fd`.
+    pub fn file_size(&self, fd: Fd) -> u64 {
+        self.fs.size(self.fd_inode(fd))
+    }
+
+    // ----- read path ------------------------------------------------------
+
+    /// Reads `len` bytes at `offset`, returning content.
+    pub fn read(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, len: u64) -> Vec<u8> {
+        let outcome = self.read_charge(clock, fd, offset, len);
+        let mut out = vec![0u8; outcome.bytes as usize];
+        self.fetch_content(self.fd_inode(fd), offset, &mut out);
+        out
+    }
+
+    /// Reads into `buf`, returning the byte count delivered.
+    pub fn read_at(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, buf: &mut [u8]) -> u64 {
+        let outcome = self.read_charge(clock, fd, offset, buf.len() as u64);
+        self.fetch_content(
+            self.fd_inode(fd),
+            offset,
+            &mut buf[..outcome.bytes as usize],
+        );
+        outcome.bytes
+    }
+
+    /// The charging half of the read path: identical timing and cache
+    /// behaviour to [`Os::read`], without materializing content. Workloads
+    /// that only measure use this.
+    pub fn read_charge(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> ReadOutcome {
+        let costs = &self.config.costs;
+        clock.advance(costs.syscall_ns);
+        self.stats.syscalls.incr();
+        self.stats.reads.incr();
+
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let size = self.fs.size(entry.ino);
+        let len = len.min(size.saturating_sub(offset));
+        if len == 0 {
+            return ReadOutcome::default();
+        }
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len).div_ceil(PAGE_SIZE);
+        let pages = p1 - p0;
+
+        // Slow path: walk the cache tree under the tree lock (read side),
+        // one pagevec batch at a time.
+        let mut remaining = pages;
+        while remaining > 0 {
+            let batch = remaining.min(15);
+            let access = cache
+                .tree_lock
+                .read(clock.now(), costs.tree_walk_per_page_ns * batch);
+            clock.advance_to(access.end_ns);
+            remaining -= batch;
+        }
+
+        let (missing, ready_at, present) = {
+            let state = cache.state.read();
+            (
+                state.missing_runs(p0, p1),
+                state.ready_max(p0, p1),
+                state.present_in(p0, p1),
+            )
+        };
+        cache.hits.add(present);
+        cache.misses.add(pages - present);
+        self.stats.hit_pages.add(present);
+        self.stats.miss_pages.add(pages - present);
+
+        // Wait for in-flight prefetch covering this range — unless a
+        // demand read would deliver sooner, in which case it overtakes the
+        // queued stream (NVMe serves demand I/O alongside background
+        // streams; waiting longer than the demand cost for a queued
+        // readahead would be pathological). The duplicate device work is
+        // charged.
+        // Readiness applies only when the range actually has present
+        // (in-flight or cached) pages; `ready` is word-granular, and a
+        // fully-missing range must not wait on unrelated neighbours.
+        if present > 0 {
+            let refetch_estimate = self.device.config().read_request_latency_ns()
+                + simclock::transfer_ns(pages * PAGE_SIZE, self.device.config().read_bw);
+            // Waiting up to about the demand cost for an in-flight page is
+            // the normal prefetch-hit path; beyond twice that, overtaking
+            // the queued stream is strictly better even with the duplicate
+            // I/O.
+            let bypass_threshold = refetch_estimate * 2;
+            let wait = ready_at.saturating_sub(clock.now());
+            if wait > bypass_threshold {
+                let t0 = clock.now();
+                for run in self.fs.map_blocks(entry.ino, p0, pages) {
+                    self.device
+                        .charge_read(clock, run.blocks, IoPriority::Blocking);
+                }
+                let now = clock.now();
+                cache.state.write().lower_ready(p0, p1, now);
+                self.stats.demand_bypass_pages.add(present);
+                self.stats.demand_fill_ns.add(now - t0);
+            } else {
+                self.stats.ready_wait_ns.add(wait);
+                clock.advance_to(ready_at);
+            }
+        }
+
+        // Demand-fill the misses synchronously.
+        if !missing.is_empty() {
+            let t0 = clock.now();
+            let mut inserted = 0;
+            for &(mstart, mend) in &missing {
+                for run in self.fs.map_blocks(entry.ino, mstart, mend - mstart) {
+                    self.device
+                        .charge_read(clock, run.blocks, IoPriority::Blocking);
+                }
+                inserted += mend - mstart;
+            }
+            self.stats.demand_fill_ns.add(clock.now() - t0);
+            let hold = costs.tree_insert_per_page_ns * inserted + costs.page_alloc_ns * inserted;
+            let access = cache.tree_lock.write(clock.now(), hold);
+            clock.advance_to(access.end_ns);
+            let now = clock.now();
+            let mut newly = 0;
+            {
+                let mut state = cache.state.write();
+                for &(mstart, mend) in &missing {
+                    newly += state.insert_range(mstart, mend, now, 0);
+                }
+            }
+            if self.mem.note_inserted(newly) {
+                self.reclaim(clock);
+            }
+        } else {
+            let now = clock.now();
+            cache.state.write().touch_range(p0, p1, now);
+        }
+
+        // Copy to the user buffer.
+        clock.advance(costs.copy_pages_ns(pages));
+        self.stats.bytes_read.add(len);
+
+        // Heuristic readahead.
+        let ra_request = entry.ra.lock().on_read(p0, pages);
+        if let Some(req) = ra_request {
+            self.prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
+        }
+
+        ReadOutcome {
+            pages,
+            hit_pages: present,
+            miss_pages: pages - present,
+            bytes: len,
+        }
+    }
+
+    /// Baseline prefetch: inserts `[start, start+count)` through the cache
+    /// tree lock (the un-delineated path). Device I/O is asynchronous.
+    /// Returns pages newly scheduled.
+    pub(crate) fn prefetch_via_tree(
+        &self,
+        clock: &mut ThreadClock,
+        ino: InodeId,
+        cache: &InodeCache,
+        start: u64,
+        count: u64,
+    ) -> u64 {
+        let costs = &self.config.costs;
+        let file_pages = self.fs.size(ino).div_ceil(PAGE_SIZE);
+        let end = (start + count).min(file_pages);
+        if start >= end {
+            return 0;
+        }
+        let missing = cache.state.read().missing_runs(start, end);
+        if missing.is_empty() {
+            return 0;
+        }
+        let total: u64 = missing.iter().map(|&(s, e)| e - s).sum();
+
+        // Lock charge: baseline prefetch contends on the tree lock.
+        let hold = costs.tree_insert_per_page_ns * total + costs.page_alloc_ns * total;
+        let access = cache.tree_lock.write(clock.now(), hold);
+        clock.advance_to(access.end_ns);
+
+        // Device I/O proceeds asynchronously, completing progressively in
+        // VFS-request-sized chunks.
+        let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
+        let chunk_pages = (self.device.config().max_request_bytes / PAGE_SIZE).max(1);
+        let mut chunk_ready: Vec<(u64, u64, u64)> = Vec::new();
+        for &(mstart, mend) in &missing {
+            let mut cursor = mstart;
+            while cursor < mend {
+                let upto = (cursor + chunk_pages).min(mend);
+                let before = io_clock.now();
+                for run in self.fs.map_blocks(ino, cursor, upto - cursor) {
+                    self.device
+                        .charge_read(&mut io_clock, run.blocks, IoPriority::Prefetch);
+                }
+                crate::crossos::push_interpolated_ready(
+                    &mut chunk_ready,
+                    cursor,
+                    upto,
+                    before,
+                    io_clock.now(),
+                );
+                cursor = upto;
+            }
+        }
+        // Same readahead-page recency protection as the CROSS-OS path.
+        let touch = clock.now() + crate::crossos::PREFETCH_TOUCH_BIAS_NS;
+        let mut newly = 0;
+        {
+            let mut state = cache.state.write();
+            for &(cstart, cend, ready) in &chunk_ready {
+                newly += state.insert_range(cstart, cend, touch, ready);
+            }
+        }
+        self.stats.prefetched_pages.add(newly);
+        if self.mem.note_inserted(newly) {
+            self.reclaim(clock);
+        }
+        newly
+    }
+
+    /// Fetches content bytes from the backing store without a time charge —
+    /// callers must have charged the read via [`Os::read_charge`] already.
+    pub fn fetch_content(&self, ino: InodeId, offset: u64, out: &mut [u8]) {
+        let mut done = 0usize;
+        while done < out.len() {
+            let abs = offset + done as u64;
+            let lblock = abs / PAGE_SIZE;
+            let within = (abs % PAGE_SIZE) as usize;
+            let take = (PAGE_SIZE as usize - within).min(out.len() - done);
+            let pblock = self.fs.map_block(ino, lblock);
+            let block = self.device.store().read_block_vec(pblock);
+            out[done..done + take].copy_from_slice(&block[within..within + take]);
+            done += take;
+        }
+    }
+
+    /// Stores content bytes into the backing store without a time charge —
+    /// callers must have charged the write via [`Os::write_charge`] already.
+    pub fn store_content(&self, ino: InodeId, offset: u64, data: &[u8]) {
+        let mut done = 0usize;
+        while done < data.len() {
+            let abs = offset + done as u64;
+            let lblock = abs / PAGE_SIZE;
+            let within = (abs % PAGE_SIZE) as usize;
+            let take = (PAGE_SIZE as usize - within).min(data.len() - done);
+            let pblock = self.fs.map_block(ino, lblock);
+            self.device
+                .store_partial(pblock, within, &data[done..done + take]);
+            done += take;
+        }
+    }
+
+    // ----- write path -----------------------------------------------------
+
+    /// Writes `data` at `offset` (content path).
+    pub fn write(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, data: &[u8]) -> u64 {
+        let written = self.write_charge(clock, fd, offset, data.len() as u64);
+        self.store_content(self.fd_inode(fd), offset, data);
+        written
+    }
+
+    /// The charging half of the write path.
+    pub fn write_charge(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, len: u64) -> u64 {
+        let costs = &self.config.costs;
+        clock.advance(costs.syscall_ns);
+        self.stats.syscalls.incr();
+        self.stats.writes.incr();
+        if len == 0 {
+            return 0;
+        }
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len).div_ceil(PAGE_SIZE);
+        let pages = p1 - p0;
+
+        // Partial head/tail pages that are absent need read-modify-write.
+        let (head_missing, tail_missing) = {
+            let state = cache.state.read();
+            let head = !offset.is_multiple_of(PAGE_SIZE) && !state.is_present(p0);
+            let tail = !(offset + len).is_multiple_of(PAGE_SIZE)
+                && p1 - 1 != p0
+                && !state.is_present(p1 - 1);
+            (head, tail)
+        };
+        for (is_missing, page) in [(head_missing, p0), (tail_missing, p1 - 1)] {
+            if is_missing {
+                for run in self.fs.map_blocks(entry.ino, page, 1) {
+                    self.device
+                        .charge_read(clock, run.blocks, IoPriority::Blocking);
+                }
+            }
+        }
+
+        // Insert + dirty under the tree lock.
+        let hold = costs.tree_insert_per_page_ns * pages;
+        let access = cache.tree_lock.write(clock.now(), hold);
+        clock.advance_to(access.end_ns);
+        let now = clock.now();
+        let (newly, dirtied) = {
+            let mut state = cache.state.write();
+            let newly = state.insert_range(p0, p1, now, 0);
+            let dirtied = state.mark_dirty(p0, p1);
+            (newly, dirtied)
+        };
+        self.mem.note_dirtied(dirtied);
+        clock.advance(costs.copy_pages_ns(pages));
+        self.stats.bytes_written.add(len);
+        self.fs.set_size(entry.ino, offset + len);
+        if self.mem.note_inserted(newly) {
+            self.reclaim(clock);
+        }
+
+        // Dirty throttling: force background writeback past the limit.
+        if self.mem.dirty() > self.config.dirty_limit_pages {
+            self.writeback_file(clock, entry.ino, false);
+        }
+        len
+    }
+
+    /// Flushes a file's dirty pages. `sync` waits for completion (fsync);
+    /// otherwise the device work detaches from the caller's clock.
+    pub fn writeback_file(&self, clock: &mut ThreadClock, ino: InodeId, sync: bool) {
+        let cache = self.cache(ino);
+        let dirty = cache.state.write().clear_dirty();
+        if dirty == 0 {
+            return;
+        }
+        self.mem.note_cleaned(dirty);
+        if sync {
+            self.device.charge_write(clock, dirty, IoPriority::Blocking);
+        } else {
+            let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
+            self.device
+                .charge_write(&mut io_clock, dirty, IoPriority::Prefetch);
+        }
+    }
+
+    /// `fsync(2)`: synchronously flush the file.
+    pub fn fsync(&self, clock: &mut ThreadClock, fd: Fd) {
+        clock.advance(self.config.costs.syscall_ns);
+        self.stats.syscalls.incr();
+        let ino = self.fd_inode(fd);
+        self.writeback_file(clock, ino, true);
+    }
+
+    // ----- prefetch control syscalls ---------------------------------------
+
+    /// `readahead(2)`: initiate readahead for `[offset, offset + len)`.
+    ///
+    /// Faithful to the pathology in the paper's Figure 1: the OS silently
+    /// caps the request at the readahead limit and reports the *requested*
+    /// length, so applications cannot tell how much was actually initiated.
+    /// The true initiated page count is recorded in [`OsStats`].
+    pub fn readahead(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, len: u64) -> u64 {
+        clock.advance(self.config.costs.syscall_ns);
+        self.stats.syscalls.incr();
+        self.stats.ra_calls.incr();
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let start = offset / PAGE_SIZE;
+        let pages = len.div_ceil(PAGE_SIZE);
+        let cap = entry.ra.lock().effective_max();
+        let capped = pages.min(cap);
+        self.prefetch_via_tree(clock, entry.ino, &cache, start, capped);
+        len
+    }
+
+    /// `posix_fadvise(2)`.
+    pub fn fadvise(&self, clock: &mut ThreadClock, fd: Fd, advice: Advice, offset: u64, len: u64) {
+        let costs = &self.config.costs;
+        clock.advance(costs.syscall_ns);
+        self.stats.syscalls.incr();
+        let entry = self.fd_entry(fd);
+        match advice {
+            Advice::Normal => entry.ra.lock().set_mode(RaMode::Normal),
+            Advice::Sequential => entry.ra.lock().set_mode(RaMode::Sequential),
+            Advice::Random => entry.ra.lock().set_mode(RaMode::Random),
+            Advice::WillNeed => {
+                let cache = self.cache(entry.ino);
+                let start = offset / PAGE_SIZE;
+                let pages = len.div_ceil(PAGE_SIZE).min(entry.ra.lock().effective_max());
+                self.prefetch_via_tree(clock, entry.ino, &cache, start, pages);
+            }
+            Advice::DontNeed => {
+                let cache = self.cache(entry.ino);
+                // Linux semantics: only pages wholly inside the byte range
+                // are dropped (start rounds up, end rounds down).
+                let p0 = offset.div_ceil(PAGE_SIZE);
+                let p1 = if len == u64::MAX {
+                    u64::MAX / 2
+                } else {
+                    (offset + len) / PAGE_SIZE
+                };
+                let (removed, dirty) = {
+                    let mut state = cache.state.write();
+                    state.remove_range(p0, p1)
+                };
+                if removed > 0 {
+                    let access = cache
+                        .tree_lock
+                        .write(clock.now(), costs.lru_per_page_ns * removed);
+                    clock.advance_to(access.end_ns);
+                }
+                self.mem.note_removed(removed);
+                self.mem.note_cleaned(dirty);
+                if dirty > 0 {
+                    let mut io_clock =
+                        ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
+                    self.device
+                        .charge_write(&mut io_clock, dirty, IoPriority::Prefetch);
+                }
+                self.stats.evicted_by_advice.add(removed);
+            }
+        }
+    }
+
+    /// `fincore`-style cache residency query for a whole file.
+    ///
+    /// Expensive by design (§2.1, §3.2): serializes on the address-space
+    /// lock and holds the file's cache-tree lock exclusively while walking
+    /// every page's metadata.
+    pub fn fincore(&self, clock: &mut ThreadClock, fd: Fd) -> u64 {
+        let costs = &self.config.costs;
+        clock.advance(costs.syscall_ns);
+        self.stats.syscalls.incr();
+        self.stats.fincore_calls.incr();
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let file_pages = self.fs.size(entry.ino).div_ceil(PAGE_SIZE);
+
+        let mmap = self.mmap_lock.access(
+            clock.now(),
+            costs.fincore_mmap_lock_ns + costs.fincore_scan_per_page_ns * file_pages / 8,
+        );
+        clock.advance_to(mmap.end_ns);
+        let tree = cache
+            .tree_lock
+            .write(clock.now(), costs.fincore_scan_per_page_ns * file_pages);
+        clock.advance_to(tree.end_ns);
+        let present = cache.state.read().present_in(0, file_pages);
+        present
+    }
+
+    /// `mincore(2)`-style residency query over a byte range: returns one
+    /// bool per page. Like `fincore`, it pays the address-space lock and a
+    /// per-page metadata walk — cheaper than whole-file `fincore` for
+    /// small ranges, still far costlier than `readahead_info`'s bitmap
+    /// fast path.
+    pub fn mincore(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, len: u64) -> Vec<bool> {
+        let costs = &self.config.costs;
+        clock.advance(costs.syscall_ns);
+        self.stats.syscalls.incr();
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len).div_ceil(PAGE_SIZE).max(p0);
+        let pages = p1 - p0;
+
+        let mmap = self.mmap_lock.access(
+            clock.now(),
+            costs.fincore_mmap_lock_ns + costs.fincore_scan_per_page_ns * pages / 8,
+        );
+        clock.advance_to(mmap.end_ns);
+        let tree = cache
+            .tree_lock
+            .write(clock.now(), costs.fincore_scan_per_page_ns * pages);
+        clock.advance_to(tree.end_ns);
+        let state = cache.state.read();
+        (p0..p1).map(|page| state.is_present(page)).collect()
+    }
+
+    // ----- reclaim ----------------------------------------------------------
+
+    /// Drops every clean cached page and writes back dirty ones — the
+    /// `echo 3 > /proc/sys/vm/drop_caches` analogue the paper uses to
+    /// clear the page cache before each experiment.
+    pub fn drop_caches(&self, clock: &mut ThreadClock) {
+        let mut dirty_total = 0;
+        for cache in self.all_caches() {
+            let (removed, dirty) = cache.state.write().remove_range(0, u64::MAX / 2);
+            self.mem.note_removed(removed);
+            self.mem.note_cleaned(dirty);
+            dirty_total += dirty;
+        }
+        if dirty_total > 0 {
+            self.device
+                .charge_write(clock, dirty_total, IoPriority::Blocking);
+        }
+    }
+
+    /// Synchronous reclaim down to the watermark, charged to `clock`.
+    pub fn reclaim(&self, clock: &mut ThreadClock) {
+        let target = self.mem.reclaim_target(self.config.reclaim_slack);
+        if target == 0 {
+            return;
+        }
+        self.mem.reclaim_runs.incr();
+        let caches = self.all_caches();
+        let victims = if self.config.per_inode_lru {
+            crate::reclaim::select_victims_per_inode(&caches, target)
+        } else {
+            select_victims(&caches, target)
+        };
+        let costs = &self.config.costs;
+        let mut dirty_total = 0;
+        for (_, idx, widx, _) in victims {
+            let cache = &caches[idx];
+            let (removed, dirty) = cache.state.write().evict_word(widx);
+            if removed == 0 {
+                continue;
+            }
+            let access = cache
+                .tree_lock
+                .write(clock.now(), costs.lru_per_page_ns * removed);
+            clock.advance_to(access.end_ns);
+            self.mem.note_removed(removed);
+            self.mem.note_cleaned(dirty);
+            self.mem.evicted.add(removed);
+            dirty_total += dirty;
+        }
+        if dirty_total > 0 {
+            let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
+            self.device
+                .charge_write(&mut io_clock, dirty_total, IoPriority::Prefetch);
+        }
+    }
+
+    /// Aggregate lock wait time (tree + bitmap + mmap) in nanoseconds —
+    /// the numerator of the paper's "Locking (%)" rows.
+    pub fn total_lock_wait_ns(&self) -> u64 {
+        let cache_wait: u64 = self
+            .all_caches()
+            .iter()
+            .map(|c| c.tree_lock.total_wait_ns() + c.bitmap_lock.total_wait_ns())
+            .sum();
+        cache_wait + self.mmap_lock.stats().wait_ns()
+    }
+
+    /// Global page-cache hit ratio over all files.
+    pub fn hit_ratio(&self) -> f64 {
+        let hits = self.stats.hit_pages.get() as f64;
+        let misses = self.stats.miss_pages.get() as f64;
+        if hits + misses == 0.0 {
+            return 1.0;
+        }
+        hits / (hits + misses)
+    }
+}

@@ -1,0 +1,258 @@
+//! Memory accounting and LRU reclaim.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use simclock::Counter;
+
+use crate::cache::{InodeCache, PAGES_PER_WORD};
+
+/// Global page-cache memory accounting.
+///
+/// `resident` tracks live cached pages across all files; inserting beyond
+/// the budget triggers reclaim, which evicts the least-recently-touched
+/// 64-page words across all files (an approximation of Linux's global
+/// active/inactive page LRU at the same granularity the CROSS-OS bitmap
+/// uses).
+#[derive(Debug)]
+pub struct MemoryManager {
+    budget_pages: AtomicU64,
+    resident_pages: AtomicU64,
+    dirty_pages: AtomicU64,
+    /// Pages evicted by reclaim since start.
+    pub evicted: Counter,
+    /// Reclaim passes run.
+    pub reclaim_runs: Counter,
+}
+
+impl MemoryManager {
+    /// Creates a manager with the given capacity.
+    pub fn new(budget_pages: u64) -> Self {
+        Self {
+            budget_pages: AtomicU64::new(budget_pages),
+            resident_pages: AtomicU64::new(0),
+            dirty_pages: AtomicU64::new(0),
+            evicted: Counter::new(),
+            reclaim_runs: Counter::new(),
+        }
+    }
+
+    /// Total capacity in pages.
+    pub fn budget(&self) -> u64 {
+        self.budget_pages.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the capacity (experiments vary the memory:data ratio).
+    pub fn set_budget(&self, pages: u64) {
+        self.budget_pages.store(pages, Ordering::Relaxed);
+    }
+
+    /// Live cached pages.
+    pub fn resident(&self) -> u64 {
+        self.resident_pages.load(Ordering::Relaxed)
+    }
+
+    /// Free pages (zero when over budget).
+    pub fn free_pages(&self) -> u64 {
+        self.budget().saturating_sub(self.resident())
+    }
+
+    /// Dirty pages awaiting writeback.
+    pub fn dirty(&self) -> u64 {
+        self.dirty_pages.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` pages inserted; returns `true` if reclaim is now needed.
+    pub fn note_inserted(&self, n: u64) -> bool {
+        let now = self.resident_pages.fetch_add(n, Ordering::Relaxed) + n;
+        now > self.budget()
+    }
+
+    /// Records `n` pages removed.
+    pub fn note_removed(&self, n: u64) {
+        self.resident_pages.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Records dirty-page delta.
+    pub fn note_dirtied(&self, n: u64) {
+        self.dirty_pages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records cleaned pages.
+    pub fn note_cleaned(&self, n: u64) {
+        self.dirty_pages.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// How many pages reclaim should free right now (down to the slack
+    /// watermark), or zero.
+    pub fn reclaim_target(&self, slack: f64) -> u64 {
+        let budget = self.budget();
+        let resident = self.resident();
+        if resident <= budget {
+            return 0;
+        }
+        let watermark = (budget as f64 * (1.0 - slack)) as u64;
+        resident - watermark
+    }
+}
+
+/// One reclaim candidate: `(touch, inode index, word index, pages)`.
+pub type Victim = (u64, usize, usize, u64);
+
+/// Selects the least-recently-touched words across `caches` totalling at
+/// least `target` pages. Pure selection — the caller evicts.
+pub fn select_victims(caches: &[Arc<InodeCache>], target: u64) -> Vec<Victim> {
+    let mut candidates: Vec<Victim> = Vec::new();
+    for (idx, cache) in caches.iter().enumerate() {
+        let state = cache.state.read();
+        for (widx, touch, pages) in state.word_summaries() {
+            candidates.push((touch, idx, widx, pages));
+        }
+    }
+    candidates.sort_unstable();
+    let mut victims = Vec::new();
+    let mut freed = 0;
+    for victim in candidates {
+        if freed >= target {
+            break;
+        }
+        freed += victim.3;
+        victims.push(victim);
+    }
+    victims
+}
+
+/// Selects victims per-inode (§4.6 future work): ranks files by resident
+/// size, then takes each fat file's *coldest* words until `target` pages
+/// are covered. Scans at most the few largest inodes instead of every
+/// word in the system.
+pub fn select_victims_per_inode(caches: &[Arc<InodeCache>], target: u64) -> Vec<Victim> {
+    let mut by_size: Vec<(u64, usize)> = caches
+        .iter()
+        .enumerate()
+        .map(|(idx, cache)| (cache.state.read().resident(), idx))
+        .filter(|&(resident, _)| resident > 0)
+        .collect();
+    by_size.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+
+    let mut victims = Vec::new();
+    let mut freed = 0;
+    for &(_, idx) in &by_size {
+        if freed >= target {
+            break;
+        }
+        let mut words = {
+            let state = caches[idx].state.read();
+            state.word_summaries()
+        };
+        words.sort_unstable_by_key(|&(_, touch, _)| touch);
+        for (widx, touch, pages) in words {
+            if freed >= target {
+                break;
+            }
+            freed += pages;
+            victims.push((touch, idx, widx, pages));
+        }
+    }
+    victims
+}
+
+/// Pages covered by one reclaim word.
+pub const RECLAIM_UNIT_PAGES: u64 = PAGES_PER_WORD;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::InodeId;
+
+    #[test]
+    fn accounting_round_trip() {
+        let mem = MemoryManager::new(100);
+        assert!(!mem.note_inserted(60));
+        assert_eq!(mem.free_pages(), 40);
+        assert!(mem.note_inserted(50)); // 110 > 100
+        mem.note_removed(30);
+        assert_eq!(mem.resident(), 80);
+    }
+
+    #[test]
+    fn reclaim_target_reaches_watermark() {
+        let mem = MemoryManager::new(100);
+        mem.note_inserted(120);
+        let target = mem.reclaim_target(0.05);
+        assert_eq!(target, 120 - 95);
+        assert_eq!(mem.reclaim_target(0.0), 20);
+    }
+
+    #[test]
+    fn no_reclaim_under_budget() {
+        let mem = MemoryManager::new(100);
+        mem.note_inserted(100);
+        assert_eq!(mem.reclaim_target(0.05), 0);
+    }
+
+    #[test]
+    fn dirty_accounting() {
+        let mem = MemoryManager::new(100);
+        mem.note_dirtied(10);
+        mem.note_cleaned(4);
+        assert_eq!(mem.dirty(), 6);
+    }
+
+    #[test]
+    fn set_budget_changes_free() {
+        let mem = MemoryManager::new(100);
+        mem.note_inserted(50);
+        mem.set_budget(200);
+        assert_eq!(mem.free_pages(), 150);
+    }
+
+    #[test]
+    fn select_victims_prefers_oldest() {
+        let a = Arc::new(InodeCache::new(InodeId(0)));
+        let b = Arc::new(InodeCache::new(InodeId(1)));
+        a.state.write().insert_range(0, 64, 100, 0); // old
+        b.state.write().insert_range(0, 64, 900, 0); // fresh
+        a.state.write().insert_range(64, 128, 500, 0); // middle
+        let caches = vec![Arc::clone(&a), Arc::clone(&b)];
+
+        let victims = select_victims(&caches, 64);
+        assert_eq!(victims.len(), 1);
+        assert_eq!((victims[0].1, victims[0].2), (0, 0)); // oldest word of a
+
+        let victims = select_victims(&caches, 100);
+        assert_eq!(victims.len(), 2);
+        assert_eq!((victims[1].1, victims[1].2), (0, 1)); // then middle
+    }
+
+    #[test]
+    fn select_victims_empty_cache_is_empty() {
+        let caches: Vec<Arc<InodeCache>> = vec![Arc::new(InodeCache::new(InodeId(0)))];
+        assert!(select_victims(&caches, 10).is_empty());
+        assert!(select_victims_per_inode(&caches, 10).is_empty());
+    }
+
+    #[test]
+    fn per_inode_lru_drains_the_fattest_file_first() {
+        let fat = Arc::new(InodeCache::new(InodeId(0)));
+        let thin = Arc::new(InodeCache::new(InodeId(1)));
+        fat.state.write().insert_range(0, 256, 100, 0); // 4 words
+        thin.state.write().insert_range(0, 32, 50, 0); // older but thin
+        let caches = vec![Arc::clone(&fat), Arc::clone(&thin)];
+
+        let victims = select_victims_per_inode(&caches, 100);
+        assert!(victims.iter().all(|&(_, idx, _, _)| idx == 0));
+        // And within the fat file, coldest words first.
+        assert!(victims.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn per_inode_lru_covers_the_target() {
+        let a = Arc::new(InodeCache::new(InodeId(0)));
+        a.state.write().insert_range(0, 512, 10, 0);
+        let caches = vec![a];
+        let victims = select_victims_per_inode(&caches, 200);
+        let pages: u64 = victims.iter().map(|v| v.3).sum();
+        assert!(pages >= 200);
+    }
+}

@@ -1,0 +1,52 @@
+//! OS-wide counters.
+
+use simclock::Counter;
+
+/// Aggregate counters over all files and descriptors.
+#[derive(Debug, Default)]
+pub struct OsStats {
+    /// System calls entered.
+    pub syscalls: Counter,
+    /// `read` calls.
+    pub reads: Counter,
+    /// `write` calls.
+    pub writes: Counter,
+    /// Bytes delivered to readers.
+    pub bytes_read: Counter,
+    /// Bytes accepted from writers.
+    pub bytes_written: Counter,
+    /// Pages found in the cache on the read path.
+    pub hit_pages: Counter,
+    /// Pages that required device I/O on the read path.
+    pub miss_pages: Counter,
+    /// Pages scheduled by any prefetch path.
+    pub prefetched_pages: Counter,
+    /// `readahead(2)` invocations.
+    pub ra_calls: Counter,
+    /// `readahead_info` invocations (CROSS-OS).
+    pub ra_info_calls: Counter,
+    /// `fincore` invocations.
+    pub fincore_calls: Counter,
+    /// Pages dropped via `fadvise(DONTNEED)`.
+    pub evicted_by_advice: Counter,
+    /// Pages a demand read fetched itself rather than waiting on a distant
+    /// queued prefetch stream.
+    pub demand_bypass_pages: Counter,
+    /// Time reads spent waiting for in-flight prefetch to become ready.
+    pub ready_wait_ns: Counter,
+    /// Time reads spent on synchronous demand fills (device on the
+    /// critical path).
+    pub demand_fill_ns: Counter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero() {
+        let stats = OsStats::default();
+        assert_eq!(stats.syscalls.get(), 0);
+        assert_eq!(stats.prefetched_pages.get(), 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests pitting the OS components against simple reference
+//! models: the cache state against a `HashSet`, the readahead window
+//! against its documented envelope, and `fadvise` range semantics.
+
+use proptest::prelude::*;
+use simos::cache::CacheState;
+use simos::readahead::{RaMode, RaState};
+use simos::{Advice, Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig, PAGE_SIZE};
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn cache_state_matches_reference_set(
+        ops in prop::collection::vec((0u64..2048, 1u64..128, 0u8..3), 1..80)
+    ) {
+        let mut cache = CacheState::default();
+        let mut reference: HashSet<u64> = HashSet::new();
+        for (start, len, kind) in ops {
+            let end = start + len;
+            match kind {
+                0 => {
+                    let newly = cache.insert_range(start, end, 1, 0);
+                    let ref_newly = (start..end).filter(|p| reference.insert(*p)).count() as u64;
+                    prop_assert_eq!(newly, ref_newly);
+                }
+                1 => {
+                    let (removed, _) = cache.remove_range(start, end);
+                    let ref_removed =
+                        (start..end).filter(|p| reference.remove(p)).count() as u64;
+                    prop_assert_eq!(removed, ref_removed);
+                }
+                _ => {
+                    cache.touch_range(start, end, 2);
+                }
+            }
+            prop_assert_eq!(cache.resident(), reference.len() as u64);
+        }
+        // Presence agrees everywhere.
+        for page in 0..2200u64 {
+            prop_assert_eq!(cache.is_present(page), reference.contains(&page));
+        }
+        // Missing runs cover exactly the complement.
+        let missing: u64 = cache
+            .missing_runs(0, 2200)
+            .iter()
+            .map(|&(s, e)| e - s)
+            .sum();
+        let present_in_range = reference.iter().filter(|&&p| p < 2200).count() as u64;
+        prop_assert_eq!(missing, 2200 - present_in_range);
+    }
+
+    #[test]
+    fn readahead_requests_stay_in_envelope(
+        accesses in prop::collection::vec((0u64..100_000, 1u64..64), 1..200),
+        cap in 1u64..512,
+    ) {
+        let mut ra = RaState::new(cap);
+        for (page, count) in accesses {
+            if let Some(req) = ra.on_read(page, count) {
+                // Requests never exceed the cap and always look forward.
+                prop_assert!(req.count <= ra.effective_max());
+                prop_assert!(req.count >= 1);
+                prop_assert!(req.start >= page);
+            }
+        }
+    }
+
+    #[test]
+    fn readahead_random_mode_is_silent(
+        accesses in prop::collection::vec((0u64..100_000, 1u64..64), 1..100)
+    ) {
+        let mut ra = RaState::new(32);
+        ra.set_mode(RaMode::Random);
+        for (page, count) in accesses {
+            prop_assert_eq!(ra.on_read(page, count), None);
+        }
+    }
+
+    #[test]
+    fn dontneed_drops_exactly_the_range(
+        cached in prop::collection::vec((0u64..512, 1u64..64), 1..20),
+        drop_start in 0u64..512,
+        drop_len in 1u64..256,
+    ) {
+        let os = Os::new(
+            OsConfig::with_memory_mb(64),
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/adv", 4 << 20).unwrap();
+        os.fadvise(&mut clock, fd, Advice::Random, 0, 0); // exact residency
+        let mut reference: HashSet<u64> = HashSet::new();
+        let file_pages = (4u64 << 20) / PAGE_SIZE;
+        for (page, len) in cached {
+            let end = (page + len).min(file_pages);
+            if page >= end {
+                continue;
+            }
+            os.read_charge(&mut clock, fd, page * PAGE_SIZE, (end - page) * PAGE_SIZE);
+            reference.extend(page..end);
+        }
+        let drop_end = (drop_start + drop_len).min(file_pages);
+        os.fadvise(
+            &mut clock,
+            fd,
+            Advice::DontNeed,
+            drop_start * PAGE_SIZE,
+            drop_len * PAGE_SIZE,
+        );
+        reference.retain(|&p| p < drop_start || p >= drop_end);
+
+        let cache = os.cache(os.fd_inode(fd));
+        let state = cache.state.read();
+        for page in 0..file_pages {
+            prop_assert_eq!(
+                state.is_present(page),
+                reference.contains(&page),
+                "page {}", page
+            );
+        }
+        prop_assert_eq!(os.mem().resident(), reference.len() as u64);
+    }
+}
+
+#[test]
+fn dontneed_byte_rounding_matches_linux() {
+    // Linux `POSIX_FADV_DONTNEED` drops only pages wholly inside the byte
+    // range: the start rounds up to a page boundary, the end rounds down.
+    // A page the range merely grazes survives.
+    let os = Os::new(
+        OsConfig::with_memory_mb(64),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let mut clock = os.new_clock();
+    let fd = os.create_sized(&mut clock, "/pp", 1 << 20).unwrap();
+    os.fadvise(&mut clock, fd, Advice::Random, 0, 0);
+    os.read_charge(&mut clock, fd, 0, 64 * 1024); // pages 0..16
+                                                  // Drop bytes [4196, 16484): pages 2..4 are wholly inside.
+    os.fadvise(&mut clock, fd, Advice::DontNeed, 4096 + 100, 3 * 4096);
+    let cache = os.cache(os.fd_inode(fd));
+    let state = cache.state.read();
+    assert!(state.is_present(0));
+    assert!(state.is_present(1), "grazed start page survives");
+    assert!(!state.is_present(2));
+    assert!(!state.is_present(3));
+    assert!(state.is_present(4), "grazed end page survives");
+}

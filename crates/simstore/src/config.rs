@@ -1,0 +1,121 @@
+//! Device performance parameters.
+
+use serde::{Deserialize, Serialize};
+use simclock::{NS_PER_MS, NS_PER_US};
+
+/// Performance parameters of a simulated block device.
+///
+/// Presets mirror the paper's testbeds: [`DeviceConfig::local_nvme`] for the
+/// 1.4 GB/s-read / 0.9 GB/s-write NVMe SSD and
+/// [`DeviceConfig::remote_nvmeof`] for RDMA-attached NVMe-oF storage, which
+/// adds a network round trip to every request and loses some bandwidth to
+/// the fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Sequential read bandwidth in bytes per second.
+    pub read_bw: f64,
+    /// Sequential write bandwidth in bytes per second.
+    pub write_bw: f64,
+    /// Fixed per-request read latency (flash access + command overhead).
+    pub read_latency_ns: u64,
+    /// Fixed per-request write latency (device write buffer absorbs most).
+    pub write_latency_ns: u64,
+    /// Extra per-request network round trip (zero for local devices).
+    pub network_rtt_ns: u64,
+    /// Largest single request the block layer issues (Linux caps at 2 MiB).
+    pub max_request_bytes: u64,
+    /// Backlog bound for prefetch traffic: a prefetch request stalls until
+    /// the device backlog drops below this window (§4.7 congestion control).
+    pub prefetch_congestion_ns: u64,
+}
+
+impl DeviceConfig {
+    /// The paper's local NVMe SSD testbed.
+    pub fn local_nvme() -> Self {
+        Self {
+            read_bw: 1.4e9,
+            write_bw: 0.9e9,
+            read_latency_ns: 85 * NS_PER_US,
+            write_latency_ns: 25 * NS_PER_US,
+            network_rtt_ns: 0,
+            max_request_bytes: 2 << 20,
+            prefetch_congestion_ns: 2 * NS_PER_MS,
+        }
+    }
+
+    /// The paper's RDMA NVMe-oF remote storage testbed.
+    pub fn remote_nvmeof() -> Self {
+        Self {
+            read_bw: 1.2e9,
+            write_bw: 0.8e9,
+            read_latency_ns: 85 * NS_PER_US,
+            write_latency_ns: 25 * NS_PER_US,
+            network_rtt_ns: 22 * NS_PER_US,
+            max_request_bytes: 2 << 20,
+            prefetch_congestion_ns: 2 * NS_PER_MS,
+        }
+    }
+
+    /// Effective fixed latency of one read request, including the network.
+    pub fn read_request_latency_ns(&self) -> u64 {
+        self.read_latency_ns + self.network_rtt_ns
+    }
+
+    /// Effective fixed latency of one write request, including the network.
+    pub fn write_request_latency_ns(&self) -> u64 {
+        self.write_latency_ns + self.network_rtt_ns
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidths are non-positive or the request cap is zero —
+    /// these would make the virtual-time model degenerate.
+    pub fn validate(&self) {
+        assert!(self.read_bw > 0.0, "read bandwidth must be positive");
+        assert!(self.write_bw > 0.0, "write bandwidth must be positive");
+        assert!(
+            self.max_request_bytes >= crate::BLOCK_SIZE as u64,
+            "max request must cover at least one block"
+        );
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::local_nvme()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DeviceConfig::local_nvme().validate();
+        DeviceConfig::remote_nvmeof().validate();
+    }
+
+    #[test]
+    fn remote_is_strictly_slower_per_request() {
+        let local = DeviceConfig::local_nvme();
+        let remote = DeviceConfig::remote_nvmeof();
+        assert!(remote.read_request_latency_ns() > local.read_request_latency_ns());
+        assert!(remote.read_bw < local.read_bw);
+    }
+
+    #[test]
+    #[should_panic(expected = "read bandwidth")]
+    fn validate_rejects_zero_bandwidth() {
+        let mut config = DeviceConfig::local_nvme();
+        config.read_bw = 0.0;
+        config.validate();
+    }
+
+    #[test]
+    fn default_is_local_nvme() {
+        assert_eq!(DeviceConfig::default(), DeviceConfig::local_nvme());
+    }
+}

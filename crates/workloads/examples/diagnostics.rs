@@ -1,0 +1,177 @@
+//! Diagnostics harness: focused single-scenario runs with full telemetry,
+//! used while developing the performance model and kept as a tuning tool.
+//!
+//! Usage: `cargo run --release -p workloads --example diagnostics -- <scenario>`
+//!
+//! Scenarios: `multiget`, `rand`, `shared-seq`, `reverse`, `ycsb-e`,
+//! `fetchall`, `threads`, `all`.
+
+use crossprefetch::{Mode, Runtime, RuntimeReport};
+use minilsm::{Db, DbBench, DbOptions};
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+use std::sync::Arc;
+use workloads::{
+    run_micro, run_ycsb, setup_micro, MicroConfig, MicroPattern, YcsbConfig, YcsbWorkload,
+};
+
+fn boot(memory_mb: u64) -> Arc<Os> {
+    Os::new(
+        OsConfig::with_memory_mb(memory_mb),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    )
+}
+
+fn lsm(mode: Mode, memory_mb: u64, keys: u64, value_bytes: usize) -> (Runtime, DbBench) {
+    let os = boot(memory_mb);
+    let rt = Runtime::with_mode(Arc::clone(&os), mode);
+    let mut clock = rt.new_clock();
+    let db = Db::create(rt.clone(), &mut clock, DbOptions::default());
+    let bench = DbBench::new(db, keys, value_bytes);
+    bench.fill_seq();
+    let mut c = os.new_clock();
+    os.drop_caches(&mut c);
+    rt.drop_cache_view(&mut c);
+    (rt, bench)
+}
+
+fn report(rt: &Runtime, headline: String) {
+    println!("{headline}");
+    println!("{}\n", RuntimeReport::collect(rt));
+}
+
+fn multiget() {
+    println!("--- multireadrandom, 32 threads, DB fits in memory ---");
+    for mode in [Mode::AppOnly, Mode::OsOnly, Mode::Predict, Mode::PredictOpt] {
+        let (rt, bench) = lsm(mode, 512, 100_000, 4096);
+        let result = bench.multiread_random(32, 40, 16, 0xF16_2);
+        report(
+            &rt,
+            format!(
+                "{}: {:.0} kops/s, miss {:.0}%",
+                mode.label(),
+                result.kops(),
+                100.0 * (1.0 - result.hit_ratio)
+            ),
+        );
+    }
+}
+
+fn micro(pattern: MicroPattern, shared: bool, label: &str) {
+    println!("--- micro {label} ---");
+    for mode in [Mode::AppOnly, Mode::OsOnly, Mode::PredictOpt] {
+        let rt = Runtime::with_mode(boot(64), mode);
+        let cfg = MicroConfig {
+            threads: 8,
+            data_bytes: 138 << 20,
+            io_bytes: 16 * 1024,
+            ops_per_thread: 1200,
+            shared,
+            pattern,
+            seed: 0x515,
+        };
+        setup_micro(&rt, &cfg);
+        let result = run_micro(&rt, &cfg);
+        report(
+            &rt,
+            format!(
+                "{}: {:.0} MB/s, miss {:.0}%",
+                mode.label(),
+                result.mbps(),
+                result.miss_pct
+            ),
+        );
+    }
+}
+
+fn reverse() {
+    println!("--- db_bench readreverse, 4 threads ---");
+    for mode in [Mode::OsOnly, Mode::PredictOpt] {
+        let (rt, bench) = lsm(mode, 128, 60_000, 400);
+        let result = bench.read_reverse(4);
+        report(&rt, format!("{}: {:.0} MB/s", mode.label(), result.mbps()));
+    }
+}
+
+fn ycsb_e() {
+    println!("--- YCSB-E (scan-heavy), 16 threads ---");
+    for mode in [Mode::AppOnly, Mode::OsOnly, Mode::PredictOpt] {
+        let (rt, bench) = lsm(mode, 64, 24_000, 4096);
+        let cfg = YcsbConfig {
+            workload: YcsbWorkload::E,
+            threads: 16,
+            ops_per_thread: 120,
+            keys: 24_000,
+            value_bytes: 4096,
+            theta: 0.99,
+            scan_len: 50,
+            seed: 0x9A,
+        };
+        let result = run_ycsb(bench.db(), &cfg);
+        report(
+            &rt,
+            format!("{}: {:.1} kops/s", mode.label(), result.kops()),
+        );
+    }
+}
+
+fn fetchall() {
+    println!("--- fetchall on shared-seq (memory-constrained) ---");
+    for mode in [Mode::OsOnly, Mode::FetchAllOpt] {
+        let rt = Runtime::with_mode(boot(64), mode);
+        let cfg = MicroConfig {
+            threads: 8,
+            data_bytes: 138 << 20,
+            io_bytes: 16 * 1024,
+            ops_per_thread: 1200,
+            shared: true,
+            pattern: MicroPattern::Sequential,
+            seed: 0x515,
+        };
+        setup_micro(&rt, &cfg);
+        let result = run_micro(&rt, &cfg);
+        report(
+            &rt,
+            format!(
+                "{}: {:.0} MB/s, miss {:.0}%",
+                mode.label(),
+                result.mbps(),
+                result.miss_pct
+            ),
+        );
+    }
+}
+
+fn threads() {
+    println!("--- multireadrandom scaling ---");
+    for t in [1usize, 8, 32] {
+        let (rt, bench) = lsm(Mode::PredictOpt, 512, 100_000, 4096);
+        let result = bench.multiread_random(t, 1280 / t as u64, 16, 0xF16_2);
+        report(&rt, format!("threads={t}: {:.0} kops/s", result.kops()));
+    }
+}
+
+fn main() {
+    let scenario = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match scenario.as_str() {
+        "multiget" => multiget(),
+        "rand" => micro(MicroPattern::BatchedRandom { batch: 8 }, true, "shared batched-random"),
+        "shared-seq" => micro(MicroPattern::Sequential, true, "shared sequential"),
+        "reverse" => reverse(),
+        "ycsb-e" => ycsb_e(),
+        "fetchall" => fetchall(),
+        "threads" => threads(),
+        "all" => {
+            multiget();
+            micro(MicroPattern::BatchedRandom { batch: 8 }, true, "shared batched-random");
+            micro(MicroPattern::Sequential, true, "shared sequential");
+            reverse();
+            ycsb_e();
+            fetchall();
+            threads();
+        }
+        other => eprintln!(
+            "unknown scenario `{other}`; try multiget | rand | shared-seq | reverse | ycsb-e | fetchall | threads | all"
+        ),
+    }
+}

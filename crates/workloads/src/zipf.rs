@@ -1,0 +1,176 @@
+//! Zipfian and latest-biased key distributions (YCSB's request generators).
+
+use rand::Rng;
+
+/// A Zipfian generator over `0..n` with skew `theta`, using the
+/// Gray et al. rejection-free inversion method popularized by YCSB.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// Builds a generator over `0..n` with skew `theta` (YCSB default
+    /// 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty key space");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta {theta} must be in (0,1)"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is O(n); cap the exact sum and extrapolate via
+        // the Euler–Maclaurin tail for large n.
+        const EXACT: u64 = 100_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            // ∫ x^-theta dx from EXACT to n.
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (EXACT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Samples a key; small keys are hot.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread = (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        ((self.n as f64) * spread) as u64 % self.n
+    }
+
+    /// Key-space size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Internal zeta(2) — exposed for tests.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// YCSB's "latest" distribution: zipfian over recency, so the most
+/// recently inserted keys are hottest (workload D).
+#[derive(Debug, Clone)]
+pub struct Latest {
+    zipf: Zipfian,
+}
+
+impl Latest {
+    /// Builds a latest-biased sampler over the first `n` inserted keys.
+    pub fn new(n: u64, theta: f64) -> Self {
+        Self {
+            zipf: Zipfian::new(n, theta),
+        }
+    }
+
+    /// Samples a key given the current maximum key `max_key` (exclusive).
+    pub fn sample<R: Rng>(&self, rng: &mut R, max_key: u64) -> u64 {
+        let offset = self.zipf.sample(rng) % max_key.max(1);
+        max_key - 1 - offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipfian::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_small_keys() {
+        let zipf = Zipfian::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0u64;
+        let trials = 100_000;
+        for _ in 0..trials {
+            if zipf.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // 1% of the key space should draw far more than 1% of requests.
+        let frac = head as f64 / trials as f64;
+        assert!(frac > 0.3, "hot 1% drew only {frac}");
+    }
+
+    #[test]
+    fn large_keyspace_uses_extrapolated_zeta() {
+        let zipf = Zipfian::new(100_000_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(zipf.sample(&mut rng) < 100_000_000);
+        }
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let latest = Latest::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        let max_key = 10_000;
+        let mut recent = 0u64;
+        let trials = 50_000;
+        for _ in 0..trials {
+            let k = latest.sample(&mut rng, max_key);
+            assert!(k < max_key);
+            if k >= max_key - 100 {
+                recent += 1;
+            }
+        }
+        assert!(recent as f64 / trials as f64 > 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_keyspace_rejected() {
+        Zipfian::new(0, 0.99);
+    }
+}

@@ -1,0 +1,65 @@
+//! Key-value store tuning: how the prefetching mechanism changes an LSM
+//! store's read throughput across access patterns.
+//!
+//! This walks the scenario from the paper's introduction: a production
+//! key-value store (RocksDB) distrusts OS prefetching and turns it off for
+//! its database files, losing the wins that cache-aware prefetching can
+//! deliver — especially for scans and reverse scans.
+//!
+//! Run with: `cargo run --release --example kvstore_tuning`
+
+use crossprefetch::{Mode, Runtime};
+use minilsm::{Db, DbBench, DbOptions};
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+use std::sync::Arc;
+
+fn build_db(mode: Mode) -> (Arc<simos::Os>, DbBench) {
+    let os = Os::new(
+        OsConfig::with_memory_mb(256),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let runtime = Runtime::with_mode(Arc::clone(&os), mode);
+    let mut clock = runtime.new_clock();
+    let db = Db::create(runtime.clone(), &mut clock, DbOptions::default());
+    // 4 KiB values: one data block per key, like the paper's 120 GB /
+    // 40 M-key database.
+    let bench = DbBench::new(db, 25_000, 4096);
+    bench.fill_seq();
+
+    // Drop the caches between the load and read phases (fresh boot).
+    let mut c = os.new_clock();
+    os.drop_caches(&mut c);
+    runtime.drop_cache_view(&mut c);
+    (os, bench)
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "workload", "APPonly", "OSonly", "CrossPrefetch"
+    );
+    println!("{}", "-".repeat(62));
+
+    for workload in ["multireadrandom", "readseq", "readreverse"] {
+        let mut row = format!("{workload:<22}");
+        for mode in [Mode::AppOnly, Mode::OsOnly, Mode::PredictOpt] {
+            let (_os, bench) = build_db(mode);
+            let result = match workload {
+                "multireadrandom" => bench.multiread_random(8, 120, 16, 7),
+                "readseq" => bench.read_seq(8),
+                "readreverse" => bench.read_reverse(8),
+                _ => unreachable!(),
+            };
+            row.push_str(&format!(" {:>11.0}M", result.mbps()));
+        }
+        println!("{row}");
+    }
+
+    println!();
+    println!("Takeaways (mirroring the paper's RocksDB results):");
+    println!(" * APPonly pays full misses on batched-random gets;");
+    println!(" * OSonly cannot help reverse scans (readahead only goes forward);");
+    println!(" * CrossPrefetch detects the backward stride and prefetches behind");
+    println!("   the stream, the paper's largest single win (~3.7x).");
+}

@@ -1,0 +1,52 @@
+//! Snappy compression pipeline: the paper's §5.5 real-world workload.
+//!
+//! Sixteen worker threads stream large files through the runtime,
+//! compress them with the from-scratch Snappy codec, and write the
+//! outputs — with memory deliberately smaller than the dataset, so the
+//! prefetch/eviction policy decides the throughput.
+//!
+//! Run with: `cargo run --release --example snappy_pipeline`
+
+use crossprefetch::Mode;
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+use workloads::{run_snappy, SnappyConfig};
+
+fn main() {
+    let dataset_mb = 192u64;
+    println!("compressing a {dataset_mb} MB dataset with 16 threads\n");
+    println!(
+        "{:<12} {:<24} {:>10} {:>8}",
+        "memory", "mechanism", "MB/s", "ratio"
+    );
+    println!("{}", "-".repeat(58));
+
+    for memory_mb in [dataset_mb / 6, dataset_mb / 2] {
+        for mode in [Mode::AppOnly, Mode::OsOnly, Mode::PredictOpt] {
+            let os = Os::new(
+                OsConfig::with_memory_mb(memory_mb),
+                Device::new(DeviceConfig::local_nvme()),
+                FileSystem::new(FsKind::Ext4Like),
+            );
+            let cfg = SnappyConfig {
+                threads: 16,
+                files_per_thread: 2,
+                file_bytes: 6 << 20,
+                mode,
+                compress_bytes_per_sec: 300e6,
+            };
+            let result = run_snappy(&os, &cfg);
+            println!(
+                "{:<12} {:<24} {:>10.0} {:>7.2}x",
+                format!("{memory_mb} MB"),
+                mode.label(),
+                result.mbps(),
+                result.ratio()
+            );
+        }
+        println!();
+    }
+    println!("Each worker reads a whole file in two big requests, compresses it");
+    println!("for real (the outputs above are true Snappy streams), and writes");
+    println!("the result. With memory below the dataset, aggressive prefetching");
+    println!("plus eviction keeps the streams fed — the paper's Figure 9b.");
+}

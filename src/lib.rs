@@ -1,0 +1,21 @@
+//! Umbrella crate for the CrossPrefetch (ASPLOS '24) reproduction.
+//!
+//! This package exists to host the workspace-spanning integration tests in
+//! `tests/` and the runnable examples in `examples/`. The implementation
+//! lives in the member crates:
+//!
+//! * [`simclock`] — virtual time and contention resources
+//! * [`simstore`] — NVMe / NVMe-oF device models
+//! * [`simfs`] — ext4-like and F2FS-like filesystem layouts
+//! * [`simos`] — page cache, readahead, reclaim, syscalls, CROSS-OS
+//! * [`crossprefetch`] — the CROSS-LIB runtime (the paper's contribution)
+//! * [`minilsm`] — RocksDB-stand-in LSM key-value store with db_bench
+//! * [`workloads`] — micro, YCSB, Filebench-like, and Snappy workloads
+
+pub use crossprefetch;
+pub use minilsm;
+pub use simclock;
+pub use simfs;
+pub use simos;
+pub use simstore;
+pub use workloads;

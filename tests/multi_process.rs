@@ -1,0 +1,128 @@
+//! Multi-"process" tests: several CROSS-LIB runtimes (one per simulated
+//! process, as in the paper's multi-instance Filebench runs) sharing one
+//! OS, memory budget, and device.
+
+use crossprefetch::{Mode, Runtime};
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig, PAGE_SIZE};
+use std::sync::Arc;
+
+fn boot(memory_mb: u64) -> Arc<Os> {
+    Os::new(
+        OsConfig::with_memory_mb(memory_mb),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    )
+}
+
+#[test]
+fn runtimes_share_the_page_cache() {
+    let os = boot(256);
+    let producer = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
+    let consumer = Runtime::with_mode(Arc::clone(&os), Mode::OsOnly);
+
+    let mut clock = producer.new_clock();
+    let file = producer.create_sized(&mut clock, "/ipc/blob", 8 << 20).unwrap();
+    for i in 0..128u64 {
+        file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
+    }
+
+    // A different runtime ("process") reading the same file hits the
+    // shared OS cache.
+    let mut clock2 = consumer.new_clock();
+    let file2 = consumer.open(&mut clock2, "/ipc/blob").unwrap();
+    let outcome = file2.read_charge(&mut clock2, 0, 4 << 20);
+    assert_eq!(outcome.miss_pages, 0, "second process must hit shared cache");
+}
+
+#[test]
+fn runtimes_have_independent_prefetch_state() {
+    let os = boot(256);
+    let a = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
+    let b = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
+
+    let mut clock = a.new_clock();
+    let file_a = a.create_sized(&mut clock, "/p/a", 16 << 20).unwrap();
+    for i in 0..256u64 {
+        file_a.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+    }
+    assert!(a.stats().pages_initiated.get() > 0);
+    // Runtime B never touched anything: its counters stay zero.
+    assert_eq!(b.stats().reads.get(), 0);
+    assert_eq!(b.stats().pages_initiated.get(), 0);
+    assert_eq!(b.lib_lock_wait_ns(), 0);
+}
+
+#[test]
+fn mixed_mechanisms_coexist_under_memory_pressure() {
+    // One aggressive CrossPrefetch process and one plain OSonly process
+    // compete for a small budget; accounting must stay exact and both
+    // must make progress.
+    let os = boot(24);
+    let crossp = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
+    let plain = Runtime::with_mode(Arc::clone(&os), Mode::OsOnly);
+    {
+        let mut c = os.new_clock();
+        os.fs().create_sized("/mix/a", 32 << 20).unwrap();
+        os.fs().create_sized("/mix/b", 32 << 20).unwrap();
+        let _ = c.now();
+    }
+
+    let results: Vec<u64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (rt, path) in [(crossp.clone(), "/mix/a"), (plain.clone(), "/mix/b")] {
+            handles.push(scope.spawn(move || {
+                let mut clock = rt.new_clock();
+                let file = rt.open(&mut clock, path).unwrap();
+                let mut miss = 0u64;
+                for i in 0..512u64 {
+                    miss += file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024).miss_pages;
+                }
+                miss
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert!(os.mem().resident() <= os.mem().budget());
+    // Both processes completed their streams (misses bounded by file size).
+    for miss in results {
+        assert!(miss <= (32 << 20) / PAGE_SIZE);
+    }
+    // Global accounting agrees with per-inode accounting.
+    let total: u64 = os
+        .all_caches()
+        .iter()
+        .map(|c| c.state.read().resident())
+        .sum();
+    assert_eq!(total, os.mem().resident());
+}
+
+#[test]
+fn per_process_eviction_does_not_corrupt_other_processes() {
+    let os = boot(32);
+    let evicting = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
+    let victim_rt = Runtime::with_mode(Arc::clone(&os), Mode::OsOnly);
+
+    let mut vclock = victim_rt.new_clock();
+    let victim_file = victim_rt
+        .create_sized(&mut vclock, "/vp/data", 4 << 20)
+        .unwrap();
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    victim_file.write(&mut vclock, 0, &payload);
+
+    // The aggressive process churns through memory, forcing eviction of
+    // the victim's cached pages.
+    let mut clock = evicting.new_clock();
+    for f in 0..4 {
+        let file = evicting
+            .create_sized(&mut clock, &format!("/vp/churn{f}"), 16 << 20)
+            .unwrap();
+        for i in 0..256u64 {
+            file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
+        }
+    }
+
+    // Victim data survives (content durability is independent of cache).
+    let back = victim_file.read(&mut vclock, 0, payload.len() as u64);
+    assert_eq!(back, payload);
+}
