@@ -1,0 +1,82 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` is used in this workspace. Since Rust 1.63 the
+//! standard library's `std::thread::scope` provides the same borrowing
+//! guarantees, so this shim adapts the crossbeam calling convention
+//! (`scope(|s| ...)` returning a `Result`, spawn closures receiving the
+//! scope as an argument) onto the std implementation.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Handle to a scoped thread; `join()` returns the closure's result.
+pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+/// A scope for spawning borrowing threads, mirroring
+/// `crossbeam::thread::Scope`.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread that may borrow from the enclosing scope. The
+    /// closure receives the scope (crossbeam convention) so it can spawn
+    /// further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        self.inner.spawn(move || f(&scope))
+    }
+}
+
+/// Creates a scope in which borrowing threads can be spawned; all threads
+/// are joined before `scope` returns.
+///
+/// Unlike crossbeam, a panic in a spawned thread propagates as a panic at
+/// the end of the scope (std semantics) rather than surfacing through the
+/// returned `Result` — equivalent for callers that `.unwrap()` the result,
+/// which is every caller in this workspace.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Module alias matching `crossbeam::thread::scope` paths.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

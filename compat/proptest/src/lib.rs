@@ -1,0 +1,527 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, integer-range and tuple strategies, `any::<T>()`,
+//! `prop::collection::{vec, btree_map}`, `prop::option::of`,
+//! `prop::bool::ANY`, [`Just`], weighted [`prop_oneof!`], and
+//! `ProptestConfig::with_cases`.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//! inputs are drawn from a per-test deterministic SplitMix64 stream (no
+//! persisted failure seeds) and failing cases are *not* shrunk — the
+//! panic message reports the case number and the test rests on the
+//! deterministic seed for reproduction.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+pub use test_runner::{Config as ProptestConfig, TestRng};
+
+// ---------------------------------------------------------------- strategy
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Object-safe so heterogeneous strategies with a common value type can
+/// be boxed (see [`prop_oneof!`]).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generates one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Boxes this strategy behind the common `Value` type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A heap-allocated strategy, unified on its value type.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer ranges are strategies, as in proptest.
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1; // never 0: hi-lo < 2^64-1 here
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+// --------------------------------------------------------------- arbitrary
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the full domain of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (proptest's `any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// -------------------------------------------------------------- prop_oneof
+
+/// Weighted union of strategies sharing a value type.
+pub struct OneOf<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> OneOf<T> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof needs positive total weight");
+        Self {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.next_u64() % self.total_weight;
+        for (weight, strategy) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights covered the draw range")
+    }
+}
+
+/// Weighted (or unweighted) choice between strategies, as in proptest.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+// ------------------------------------------------------------- collections
+
+/// Sizes acceptable to collection strategies.
+pub trait SizeRange {
+    /// Draws a size from the range.
+    fn draw(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        Strategy::generate(self, rng)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        Strategy::generate(self, rng)
+    }
+}
+
+impl SizeRange for usize {
+    fn draw(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+
+    /// Strategy for `Vec<T>` with sizes drawn from a range.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generates vectors of `element` values sized by `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>`.
+    pub struct BTreeMapStrategy<K, V, R> {
+        keys: K,
+        values: V,
+        size: R,
+    }
+
+    /// Generates maps of up to `size` entries (duplicate keys collapse,
+    /// as in proptest's implementation the map may come out smaller).
+    pub fn btree_map<K: Strategy, V: Strategy, R: SizeRange>(
+        keys: K,
+        values: V,
+        size: R,
+    ) -> BTreeMapStrategy<K, V, R>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K: Strategy, V: Strategy, R: SizeRange> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K::Value: Ord + Debug,
+        V::Value: Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.draw(rng);
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy yielding `Some` roughly 4 times in 5.
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps a strategy in `Option`, biased toward `Some`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64().is_multiple_of(5) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The fair-coin boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    /// Fair coin (`prop::bool::ANY`).
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+// ------------------------------------------------------------------ macros
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// runs `ProptestConfig::cases` times over deterministically generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+// ----------------------------------------------------------------- prelude
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+
+    /// Namespaced strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(u16, u8),
+        Delete(u16),
+        Flush,
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            pair in (0u64..100, 1u64..8),
+            flag in prop::bool::ANY,
+            size in 1usize..=4,
+        ) {
+            prop_assert!(pair.0 < 100);
+            prop_assert!((1..8).contains(&pair.1));
+            prop_assert!(u8::from(flag) <= 1);
+            prop_assert!((1..=4).contains(&size));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn vec_respects_size_range(items in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&items.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights_and_map() {
+        let strategy = prop_oneof![
+            4 => (any::<u16>(), any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+            1 => any::<u16>().prop_map(Op::Delete),
+            1 => Just(Op::Flush),
+        ];
+        let mut rng = TestRng::for_test("oneof");
+        let mut puts = 0;
+        for _ in 0..600 {
+            if matches!(strategy.generate(&mut rng), Op::Put(..)) {
+                puts += 1;
+            }
+        }
+        // 4/6 of 600 = 400 expected.
+        assert!((300..500).contains(&puts), "puts = {puts}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let s = prop::collection::vec(0u64..1000, 3..10);
+        let a: Vec<_> = {
+            let mut rng = TestRng::for_test("det");
+            (0..5).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::for_test("det");
+            (0..5).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn btree_map_and_option_generate() {
+        let s = prop::collection::btree_map(
+            prop::collection::vec(1u8..=120, 1..20),
+            prop::option::of(prop::collection::vec(any::<u8>(), 0..20)),
+            1..30,
+        );
+        let mut rng = TestRng::for_test("map");
+        let m = s.generate(&mut rng);
+        assert!(m.len() <= 30);
+    }
+}

@@ -1,0 +1,60 @@
+//! Deterministic case generation: config and the per-test RNG stream.
+
+/// Runner configuration (`proptest::test_runner::Config` subset).
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Overrides the case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; this shim trades cases for CI
+        // latency — the workspace's properties are structural (reference
+        // models), where 32 deterministic cases already exercise the
+        // interesting interleavings.
+        Self { cases: 32 }
+    }
+}
+
+/// SplitMix64 stream seeded from the test name — deterministic across
+/// runs and machines, independent across tests.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the stream for a raw seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Builds the canonical stream for a named test (FNV-1a of the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::new(hash)
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

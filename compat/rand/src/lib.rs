@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workloads only ever build a seeded [`rngs::StdRng`] and draw
+//! uniform integers (`gen_range`), uniform floats in `[0, 1)` (`gen`),
+//! and Bernoulli samples (`gen_bool`). A SplitMix64 generator covers all
+//! of that deterministically; statistical quality beyond "well mixed" is
+//! irrelevant for workload shaping.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level uniform u64 source (the `rand_core` role).
+pub trait RngCore {
+    /// Returns the next pseudo-random 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be seeded from a `u64` (subset of rand's trait).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values drawable from the "standard" distribution.
+pub trait Standard: Sized {
+    /// Maps one uniform u64 onto `Self`.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+/// Integer types supporting uniform sampling from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniformly samples `range` with one u64 draw (modulo method; the
+    /// bias is negligible for workload-sized ranges).
+    fn sample(range: Range<Self>, raw: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(range: Range<Self>, raw: u64) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (raw % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// The user-facing sampling interface (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (`f64` in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draws a uniform value from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                // Pre-mix so nearby seeds diverge immediately.
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.05)).count();
+        assert!((300..700).contains(&hits), "5% of 10k was {hits}");
+    }
+}

@@ -23,7 +23,7 @@ fn run(mode: Mode) -> Outcome {
     let (os, bench) = build_lsm(mode, LsmSetup::default());
     let wait0 = os.total_lock_wait_ns();
     let threads = 32;
-    let result = bench.multiread_random(threads, 120 * scale(), 16, 0xF16_2);
+    let result = bench.multiread_random(threads, 120 * scale(), 16, 0xF162);
     let lock_wait = os.total_lock_wait_ns() - wait0;
     // Lock % = aggregate wait across threads over aggregate busy time.
     let lock_pct = 100.0 * lock_wait as f64 / (result.elapsed_ns as f64 * threads as f64);

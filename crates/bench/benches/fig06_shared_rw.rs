@@ -39,7 +39,7 @@ fn main() {
             let os = boot(64);
             let rt = runtime(Arc::clone(&os), mode);
             let (write_result, _read) =
-                run_shared_rw(&rt, readers, 4, 192 << 20, 600 * scale(), 0xF16_6);
+                run_shared_rw(&rt, readers, 4, 192 << 20, 600 * scale(), 0xF166);
             cells.push(fmt_mbps(write_result.mbps()));
         }
         table.row(cells);

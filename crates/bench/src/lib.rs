@@ -13,9 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::Path;
 use std::sync::Arc;
 
-use crossprefetch::{Mode, Runtime, RuntimeConfig};
+use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport};
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
 
 /// Boots a fresh OS with `memory_mb` of page cache on a local NVMe model
@@ -124,6 +125,31 @@ pub fn scale() -> u64 {
         .unwrap_or(1)
 }
 
+/// Writes a `BENCH_<id>.json` telemetry sidecar for `runtime` into the
+/// directory named by `CP_BENCH_TELEMETRY_DIR`. A no-op when the variable
+/// is unset, so benches stay silent by default; point it at a directory to
+/// collect one machine-readable [`RuntimeReport`] per bench cell.
+pub fn telemetry_sidecar(id: &str, runtime: &Runtime) {
+    if let Ok(dir) = std::env::var("CP_BENCH_TELEMETRY_DIR") {
+        write_sidecar(Path::new(&dir), id, runtime);
+    }
+}
+
+/// Sidecar writer backing [`telemetry_sidecar`]; writes
+/// `<dir>/BENCH_<sanitized id>.json`. Failures are reported on stderr, not
+/// propagated — telemetry must never fail a bench run.
+pub fn write_sidecar(dir: &Path, id: &str, runtime: &Runtime) {
+    let safe: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("BENCH_{safe}.json"));
+    let json = RuntimeReport::collect(runtime).to_json();
+    if let Err(err) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
+        eprintln!("telemetry sidecar {} not written: {err}", path.display());
+    }
+}
+
 /// Shared LSM-workload setup matching the paper's RocksDB configuration:
 /// 40 M keys / 120 GB DB means ~3 KB per key — one data block per key —
 /// so a 16-key `MultiGet` batch spans 16 consecutive blocks, which is the
@@ -168,15 +194,9 @@ pub fn build_lsm(mode: Mode, setup: LsmSetup) -> (Arc<Os>, minilsm::DbBench) {
     (os, bench)
 }
 
-
 /// Runs the db_bench access-pattern grid (Figures 7b, 7d, 8a) over the
 /// given device and filesystem models, printing the comparison table.
-pub fn run_patterns(
-    device: simos::DeviceConfig,
-    fs: FsKind,
-    figure: &str,
-    shape: &str,
-) {
+pub fn run_patterns(device: simos::DeviceConfig, fs: FsKind, figure: &str, shape: &str) {
     use crossprefetch::Mode;
     banner(
         figure,
@@ -229,6 +249,7 @@ pub fn run_patterns(
             }
             best = best.max(mbps / first.unwrap_or(mbps));
             cells.push(fmt_mbps(mbps));
+            telemetry_sidecar(&format!("{figure}_{pattern}_{}", mode.label()), &rt);
         }
         cells.push(format!("{best:.2}x"));
         table.row(cells);
@@ -251,6 +272,23 @@ mod tests {
     #[test]
     fn scale_defaults_to_one() {
         assert!(scale() >= 1);
+    }
+
+    #[test]
+    fn sidecar_writes_schema_stamped_json() {
+        let os = boot(16);
+        let rt = runtime(Arc::clone(&os), Mode::PredictOpt);
+        let mut clock = rt.new_clock();
+        let file = rt.create_sized(&mut clock, "/b", 1 << 20).unwrap();
+        file.read_charge(&mut clock, 0, 64 * 1024);
+
+        let dir = std::env::temp_dir().join(format!("cp_sidecar_{}", std::process::id()));
+        write_sidecar(&dir, "fig: test/cell", &rt);
+        let path = dir.join("BENCH_fig__test_cell.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"schema_version\":1"));
+        assert!(body.contains("\"histograms\""));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

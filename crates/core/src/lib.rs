@@ -51,19 +51,23 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod metrics;
 pub mod predictor;
 pub mod range_tree;
 mod runtime;
 mod stats;
 pub mod telemetry;
+pub mod trace;
 pub mod worker;
 
 pub use config::{Features, Mode, RuntimeConfig};
+pub use metrics::{ReadClass, RuntimeMetrics};
 pub use predictor::{AccessPattern, Direction, Prediction, Predictor};
 pub use range_tree::{LockScope, RangeTree};
 pub use runtime::{CpFile, LibFile, Runtime};
 pub use stats::LibStats;
-pub use telemetry::RuntimeReport;
+pub use telemetry::{RuntimeReport, TELEMETRY_SCHEMA_VERSION};
+pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
 
 // One coherent import surface for workloads and benches.
 pub use simos::{

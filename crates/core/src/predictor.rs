@@ -26,6 +26,47 @@ pub enum AccessPattern {
     DefinitelySequential,
 }
 
+impl AccessPattern {
+    /// Stable label used in traces and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccessPattern::HighlyRandom => "highly-random",
+            AccessPattern::Random => "random",
+            AccessPattern::PartiallyRandom => "partially-random",
+            AccessPattern::LikelySequential => "likely-sequential",
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::DefinitelySequential => "definitely-sequential",
+        }
+    }
+
+    /// Dense ordinal (0 = most random), used to store the last-seen
+    /// pattern in an atomic for flip detection.
+    pub fn index(self) -> u8 {
+        match self {
+            AccessPattern::HighlyRandom => 0,
+            AccessPattern::Random => 1,
+            AccessPattern::PartiallyRandom => 2,
+            AccessPattern::LikelySequential => 3,
+            AccessPattern::Sequential => 4,
+            AccessPattern::DefinitelySequential => 5,
+        }
+    }
+
+    /// Inverse of [`AccessPattern::index`]; `None` for out-of-range values
+    /// (the "no pattern seen yet" sentinel).
+    pub fn from_index(index: u8) -> Option<Self> {
+        Some(match index {
+            0 => AccessPattern::HighlyRandom,
+            1 => AccessPattern::Random,
+            2 => AccessPattern::PartiallyRandom,
+            3 => AccessPattern::LikelySequential,
+            4 => AccessPattern::Sequential,
+            5 => AccessPattern::DefinitelySequential,
+            _ => return None,
+        })
+    }
+}
+
 /// Pages within which a jump still counts as sequential-ish (Linux's
 /// 32-block batch, §3.1).
 pub const SEQ_BATCH_PAGES: u64 = 32;

@@ -18,8 +18,10 @@
 //! split/merged as in the paper; this preserves the property that matters
 //! (per-range locking) with a simpler structure.
 
+use std::sync::{Arc, OnceLock};
+
 use parking_lot::RwLock;
-use simclock::{CostModel, RwContention, ThreadClock};
+use simclock::{CostModel, Histogram, RwContention, ThreadClock};
 
 /// Pages per tree node: 1024 pages = 4 MiB.
 pub const NODE_PAGES: u64 = 1024;
@@ -122,6 +124,7 @@ impl Node {
 pub struct RangeTree {
     nodes: RwLock<Vec<std::sync::Arc<Node>>>,
     whole_file_lock: RwContention,
+    wait_hist: OnceLock<Arc<Histogram>>,
 }
 
 impl RangeTree {
@@ -130,7 +133,15 @@ impl RangeTree {
         Self {
             nodes: RwLock::new(Vec::new()),
             whole_file_lock: RwContention::new("lib-file-bitmap"),
+            wait_hist: OnceLock::new(),
         }
+    }
+
+    /// Installs a shared histogram that every lock acquisition records its
+    /// wait into (the runtime wires all trees to one lib-side
+    /// distribution). First call wins; later calls are ignored.
+    pub fn set_wait_histogram(&self, hist: Arc<Histogram>) {
+        let _ = self.wait_hist.set(hist);
     }
 
     fn node(&self, index: usize) -> std::sync::Arc<Node> {
@@ -163,6 +174,9 @@ impl RangeTree {
             (LockScope::WholeFile, false) => self.whole_file_lock.read(clock.now(), hold),
             (LockScope::WholeFile, true) => self.whole_file_lock.write(clock.now(), hold),
         };
+        if let Some(hist) = self.wait_hist.get() {
+            hist.record(access.wait_ns);
+        }
         clock.advance_to(access.end_ns);
     }
 

@@ -10,9 +10,11 @@ use simclock::ThreadClock;
 use simos::{Advice, Fd, FsError, InodeId, MmapOutcome, Os, RaInfoRequest, ReadOutcome, PAGE_SIZE};
 
 use crate::config::{Features, Mode, RuntimeConfig};
-use crate::predictor::Predictor;
+use crate::metrics::{ReadClass, RuntimeMetrics};
+use crate::predictor::{AccessPattern, Predictor};
 use crate::range_tree::{LockScope, RangeTree};
 use crate::stats::LibStats;
+use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
 use crate::worker::WorkerPool;
 
 /// Per-file (per-inode) runtime state, shared by every descriptor opened on
@@ -72,6 +74,10 @@ pub struct CpFile {
     window_pages: AtomicU64,
     /// Whether mapped access restored fault-around already.
     mmap_touched: std::sync::atomic::AtomicBool,
+    /// Last pattern index the tracer saw for this descriptor
+    /// ([`AccessPattern::index`]; 255 = none yet). Only touched while
+    /// tracing is enabled.
+    last_pattern: std::sync::atomic::AtomicU8,
 }
 
 /// The CROSS-LIB runtime. Cheap to clone; all clones share state.
@@ -98,6 +104,11 @@ struct RuntimeInner {
     /// a free-memory threshold; with a steady-state-full clean cache, the
     /// observable signal for "no headroom" is reclaim running.
     aggressive_pause_until: AtomicU64,
+    /// Decision-event trace sink (disabled by default); also installed
+    /// into the OS so kernel-side decisions land in the same log.
+    trace: Arc<TraceLog>,
+    /// Always-on latency distributions.
+    metrics: RuntimeMetrics,
 }
 
 impl Runtime {
@@ -105,6 +116,10 @@ impl Runtime {
     pub fn new(os: Arc<Os>, config: RuntimeConfig) -> Self {
         let features = config.effective_features();
         let workers = WorkerPool::new(config.workers.max(1), Arc::clone(os.global()));
+        let trace = Arc::new(TraceLog::default());
+        // Bridge kernel-side decisions (readahead_info, RA window growth,
+        // reclaim) into the same trace log. First runtime attached wins.
+        os.set_trace_sink(Arc::clone(&trace) as Arc<dyn simos::OsTraceSink>);
         Self {
             inner: Arc::new(RuntimeInner {
                 os,
@@ -116,6 +131,8 @@ impl Runtime {
                 last_evict_scan_ns: AtomicU64::new(0),
                 last_evicted_pages: AtomicU64::new(0),
                 aggressive_pause_until: AtomicU64::new(0),
+                trace,
+                metrics: RuntimeMetrics::default(),
             }),
         }
     }
@@ -150,6 +167,17 @@ impl Runtime {
         &self.inner.workers
     }
 
+    /// The decision-event trace log (disabled by default; turn on with
+    /// [`TraceLog::set_enabled`]).
+    pub fn trace(&self) -> &Arc<TraceLog> {
+        &self.inner.trace
+    }
+
+    /// The always-on latency histograms.
+    pub fn metrics(&self) -> &RuntimeMetrics {
+        &self.inner.metrics
+    }
+
     /// A fresh worker clock attached to the OS global clock.
     pub fn new_clock(&self) -> ThreadClock {
         self.inner.os.new_clock()
@@ -172,10 +200,12 @@ impl Runtime {
         }
         let mut files = self.inner.files.write();
         Arc::clone(files.entry(ino).or_insert_with(|| {
+            let tree = RangeTree::new();
+            tree.set_wait_histogram(Arc::clone(&self.inner.metrics.lib_lock_wait_ns));
             Arc::new(LibFile {
                 ino,
                 prefetch_fd: fd,
-                tree: RangeTree::new(),
+                tree,
                 last_access_ns: AtomicU64::new(0),
                 reads_since_poll: AtomicU64::new(0),
                 stale_pages: AtomicU64::new(0),
@@ -256,6 +286,7 @@ impl Runtime {
             back_frontier: AtomicU64::new(u64::MAX),
             window_pages: AtomicU64::new(0),
             mmap_touched: std::sync::atomic::AtomicBool::new(false),
+            last_pattern: std::sync::atomic::AtomicU8::new(u8::MAX),
         }
     }
 
@@ -340,6 +371,15 @@ impl Runtime {
         };
         if missing.is_empty() {
             inner.stats.prefetches_skipped.incr();
+            inner.trace.emit(
+                clock.now(),
+                TraceEventKind::TreeLookup {
+                    ino: file.ino,
+                    start_page: from,
+                    pages: end - from,
+                    outcome: LookupOutcome::SkippedByVisibility,
+                },
+            );
             return end;
         }
         inner.stats.prefetches_enqueued.incr();
@@ -362,9 +402,35 @@ impl Runtime {
         };
         let est_ns = call_estimate * inner.os.config().costs.syscall_ns;
 
-        inner.workers.dispatch(clock.now(), est_ns, move |wclock| {
+        let first_page = missing[0].0;
+        let ino = file.ino;
+        let dispatch = inner.workers.dispatch(clock.now(), est_ns, move |wclock| {
             runtime.issue_prefetch(wclock, &file, &missing, relax, visibility, max_pages);
         });
+        inner
+            .metrics
+            .worker_queue_ns
+            .record(dispatch.queue_wait_ns());
+        inner.metrics.prefetch_ns.record(dispatch.latency_ns());
+        if inner.trace.is_enabled() {
+            inner.trace.emit(
+                dispatch.enqueue_ns,
+                TraceEventKind::PrefetchEnqueued {
+                    ino,
+                    start_page: first_page,
+                    pages: total,
+                    worker: dispatch.worker,
+                },
+            );
+            inner.trace.emit(
+                dispatch.end_ns,
+                TraceEventKind::PrefetchCompleted {
+                    ino,
+                    queue_wait_ns: dispatch.queue_wait_ns(),
+                    latency_ns: dispatch.latency_ns(),
+                },
+            );
+        }
         end
     }
 
@@ -475,7 +541,15 @@ impl Runtime {
             let _ = cleared;
             inner.stats.files_evicted.incr();
             inner.stats.pages_evicted.add(resident);
+            inner.trace.emit(
+                clock.now(),
+                TraceEventKind::LibEvict {
+                    ino: file.ino,
+                    pages: resident,
+                },
+            );
         }
+        inner.metrics.evict_scan_ns.record(clock.now() - now);
     }
 
     /// Resets the runtime's imported cache views — the user-level analogue
@@ -560,6 +634,10 @@ impl CpFile {
         let runtime = &self.runtime;
         let inner = &runtime.inner;
         let features = inner.features;
+        let entry_ns = clock.now();
+        // One relaxed load; every emit site below is gated on this bool, so
+        // disabled tracing costs exactly this on the read path.
+        let tracing = inner.trace.is_enabled();
         if is_write {
             inner.stats.writes.incr();
         } else {
@@ -576,6 +654,9 @@ impl CpFile {
             } else {
                 inner.os.read_charge(clock, self.fd, offset, len)
             };
+            let p0 = offset / PAGE_SIZE;
+            let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
+            self.finish_io(clock, &outcome, is_write, entry_ns, tracing, (p0, p1 - p0));
             return (outcome, 0);
         }
 
@@ -598,6 +679,23 @@ impl CpFile {
             None
         };
 
+        if tracing {
+            if let Some(pred) = &prediction {
+                let index = pred.pattern.index();
+                let prev = self.last_pattern.swap(index, Ordering::Relaxed);
+                if prev != index {
+                    inner.trace.emit(
+                        clock.now(),
+                        TraceEventKind::PredictorFlip {
+                            ino: self.file.ino,
+                            from: AccessPattern::from_index(prev),
+                            to: pred.pattern,
+                        },
+                    );
+                }
+            }
+        }
+
         // Prefetch per prediction *before* performing the I/O — the shim
         // intercepts at syscall entry, so the prefetch stream overlaps the
         // demand fill instead of trailing it. Requests are paced by
@@ -618,6 +716,24 @@ impl CpFile {
         } else {
             0
         };
+        if tracing && features.visibility && !is_write {
+            let outcome = if claimed == pages {
+                LookupOutcome::Hit
+            } else if claimed == 0 {
+                LookupOutcome::Miss
+            } else {
+                LookupOutcome::Partial
+            };
+            inner.trace.emit(
+                clock.now(),
+                TraceEventKind::TreeLookup {
+                    ino: self.file.ino,
+                    start_page: p0,
+                    pages,
+                    outcome,
+                },
+            );
+        }
 
         // The actual I/O.
         let outcome = if is_write {
@@ -736,7 +852,54 @@ impl CpFile {
             runtime.maybe_evict(clock, self.file.ino);
         }
 
+        self.finish_io(clock, &outcome, is_write, entry_ns, tracing, (p0, pages));
         (outcome, pages)
+    }
+
+    /// Shared exit hook: records the end-to-end latency into the
+    /// outcome-classed histogram and emits the read/write-exit trace event.
+    /// `span` is the access as `(start_page, pages)`.
+    fn finish_io(
+        &self,
+        clock: &mut ThreadClock,
+        outcome: &ReadOutcome,
+        is_write: bool,
+        entry_ns: u64,
+        tracing: bool,
+        span: (u64, u64),
+    ) {
+        let inner = &self.runtime.inner;
+        let latency_ns = clock.now().saturating_sub(entry_ns);
+        let (start_page, pages) = span;
+        if is_write {
+            inner.metrics.write_ns.record(latency_ns);
+            if tracing {
+                inner.trace.emit(
+                    clock.now(),
+                    TraceEventKind::WriteExit {
+                        ino: self.file.ino,
+                        start_page,
+                        pages,
+                        latency_ns,
+                    },
+                );
+            }
+        } else {
+            let class = ReadClass::of(outcome);
+            inner.metrics.read_hist(class).record(latency_ns);
+            if tracing {
+                inner.trace.emit(
+                    clock.now(),
+                    TraceEventKind::ReadExit {
+                        ino: self.file.ino,
+                        start_page,
+                        pages,
+                        class,
+                        latency_ns,
+                    },
+                );
+            }
+        }
     }
 
     /// Consumption-paced prefetch issuing (the user-space async marker).

@@ -3,11 +3,20 @@
 //! CROSS-LIB's value proposition is *visibility*: the OS exports cache
 //! state and counters, the runtime adds its own, and operators can see
 //! exactly what prefetching did. [`RuntimeReport`] snapshots both layers
-//! into one structure with a human-readable rendering.
+//! into one structure with a human-readable rendering, a hand-rolled
+//! machine-readable [`RuntimeReport::to_json`] export (the build is
+//! dependency-free, so no serde), and interval accounting via
+//! [`RuntimeReport::delta`].
 
 use std::fmt;
 
+use simclock::HistogramSnapshot;
+use simos::PrefetchQuality;
+
 use crate::Runtime;
+
+/// Version stamped into every JSON export; bump on breaking layout change.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
 
 /// A point-in-time snapshot of the cross-layered telemetry.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +51,30 @@ pub struct RuntimeReport {
     pub os_lock_wait_ns: u64,
     /// Aggregate user-level range-tree lock wait, nanoseconds.
     pub lib_lock_wait_ns: u64,
+    /// Prefetch-quality tallies (timely / late / wasted pages).
+    pub prefetch_quality: PrefetchQuality,
+    /// Trace events dropped by the bounded ring (0 when tracing is off).
+    pub trace_events_dropped: u64,
+    /// Read latency, reads served entirely from ready cache.
+    pub read_cache_hit: HistogramSnapshot,
+    /// Read latency, reads served by prefetched pages.
+    pub read_prefetch_hit: HistogramSnapshot,
+    /// Read latency, reads that waited on synchronous device I/O.
+    pub read_demand_miss: HistogramSnapshot,
+    /// Write latency.
+    pub write_latency: HistogramSnapshot,
+    /// Prefetch enqueue-to-completion latency.
+    pub prefetch_latency: HistogramSnapshot,
+    /// Worker-queue wait of prefetch jobs.
+    pub worker_queue: HistogramSnapshot,
+    /// Per-read OS cache-tree lock wait distribution.
+    pub os_lock_wait: HistogramSnapshot,
+    /// Per-acquisition user-level range-tree lock wait distribution.
+    pub lib_lock_wait: HistogramSnapshot,
+    /// Runtime eviction scan time.
+    pub evict_scan: HistogramSnapshot,
+    /// OS reclaim pass scan time.
+    pub os_reclaim_scan: HistogramSnapshot,
 }
 
 impl RuntimeReport {
@@ -49,6 +82,7 @@ impl RuntimeReport {
     pub fn collect(runtime: &Runtime) -> Self {
         let os = runtime.os();
         let stats = runtime.stats();
+        let metrics = runtime.metrics();
         Self {
             mode: runtime.config().mode.label(),
             reads: stats.reads.get(),
@@ -65,18 +99,181 @@ impl RuntimeReport {
             budget_pages: os.mem().budget(),
             os_lock_wait_ns: os.total_lock_wait_ns(),
             lib_lock_wait_ns: runtime.lib_lock_wait_ns(),
+            prefetch_quality: os.prefetch_quality(),
+            trace_events_dropped: runtime.trace().dropped(),
+            read_cache_hit: metrics.read_cache_hit_ns.snapshot(),
+            read_prefetch_hit: metrics.read_prefetch_hit_ns.snapshot(),
+            read_demand_miss: metrics.read_demand_miss_ns.snapshot(),
+            write_latency: metrics.write_ns.snapshot(),
+            prefetch_latency: metrics.prefetch_ns.snapshot(),
+            worker_queue: metrics.worker_queue_ns.snapshot(),
+            os_lock_wait: os.stats().lock_wait_hist.snapshot(),
+            lib_lock_wait: metrics.lib_lock_wait_ns.snapshot(),
+            evict_scan: metrics.evict_scan_ns.snapshot(),
+            os_reclaim_scan: os.stats().reclaim_scan_hist.snapshot(),
         }
     }
 
-    /// Prefetch efficiency: fraction of initiated pages per device page
-    /// read (1.0 = all device reads were prefetch).
+    /// Prefetch efficiency: fraction of device pages read that were
+    /// initiated by a prefetch path, clamped to `[0, 1]`.
+    ///
+    /// The raw initiated count can exceed the device's page traffic
+    /// (overlapping requests are deduplicated by the cache after they are
+    /// counted), so the ratio is clamped rather than letting bookkeeping
+    /// races report an efficiency above 1.0.
     pub fn prefetch_share(&self) -> f64 {
-        let device_pages = self.device_read_bytes / crate::PAGE_SIZE;
+        let device_pages = self.device_read_bytes.div_ceil(crate::PAGE_SIZE);
         if device_pages == 0 {
             return 0.0;
         }
-        self.pages_initiated as f64 / device_pages as f64
+        (self.pages_initiated as f64 / device_pages as f64).min(1.0)
     }
+
+    /// Interval accounting: everything monotonic in `self` minus
+    /// `earlier`, saturating at zero. Point-in-time fields (`mode`,
+    /// `hit_ratio`, `resident_pages`, `budget_pages`) are taken from
+    /// `self` unchanged.
+    pub fn delta(&self, earlier: &RuntimeReport) -> RuntimeReport {
+        RuntimeReport {
+            mode: self.mode,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            hit_ratio: self.hit_ratio,
+            ra_info_calls: self.ra_info_calls.saturating_sub(earlier.ra_info_calls),
+            prefetches_skipped: self
+                .prefetches_skipped
+                .saturating_sub(earlier.prefetches_skipped),
+            pages_initiated: self.pages_initiated.saturating_sub(earlier.pages_initiated),
+            pages_evicted_by_lib: self
+                .pages_evicted_by_lib
+                .saturating_sub(earlier.pages_evicted_by_lib),
+            pages_evicted_by_os: self
+                .pages_evicted_by_os
+                .saturating_sub(earlier.pages_evicted_by_os),
+            device_read_bytes: self
+                .device_read_bytes
+                .saturating_sub(earlier.device_read_bytes),
+            device_write_bytes: self
+                .device_write_bytes
+                .saturating_sub(earlier.device_write_bytes),
+            resident_pages: self.resident_pages,
+            budget_pages: self.budget_pages,
+            os_lock_wait_ns: self.os_lock_wait_ns.saturating_sub(earlier.os_lock_wait_ns),
+            lib_lock_wait_ns: self
+                .lib_lock_wait_ns
+                .saturating_sub(earlier.lib_lock_wait_ns),
+            prefetch_quality: self.prefetch_quality.delta(earlier.prefetch_quality),
+            trace_events_dropped: self
+                .trace_events_dropped
+                .saturating_sub(earlier.trace_events_dropped),
+            read_cache_hit: self.read_cache_hit.delta(&earlier.read_cache_hit),
+            read_prefetch_hit: self.read_prefetch_hit.delta(&earlier.read_prefetch_hit),
+            read_demand_miss: self.read_demand_miss.delta(&earlier.read_demand_miss),
+            write_latency: self.write_latency.delta(&earlier.write_latency),
+            prefetch_latency: self.prefetch_latency.delta(&earlier.prefetch_latency),
+            worker_queue: self.worker_queue.delta(&earlier.worker_queue),
+            os_lock_wait: self.os_lock_wait.delta(&earlier.os_lock_wait),
+            lib_lock_wait: self.lib_lock_wait.delta(&earlier.lib_lock_wait),
+            evict_scan: self.evict_scan.delta(&earlier.evict_scan),
+            os_reclaim_scan: self.os_reclaim_scan.delta(&earlier.os_reclaim_scan),
+        }
+    }
+
+    /// Machine-readable export (schema [`TELEMETRY_SCHEMA_VERSION`]).
+    ///
+    /// Hand-rolled rather than serde-derived: the reproduction builds with
+    /// zero external dependencies. Histograms are exported as
+    /// `{count, sum, p50, p95, p99}` summary objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        push_field(&mut out, "schema_version", TELEMETRY_SCHEMA_VERSION.into());
+        out.push_str(&format!("\"mode\":\"{}\",", json_escape(self.mode)));
+        out.push_str("\"counters\":{");
+        push_field(&mut out, "reads", self.reads);
+        push_field(&mut out, "writes", self.writes);
+        push_field(&mut out, "ra_info_calls", self.ra_info_calls);
+        push_field(&mut out, "prefetches_skipped", self.prefetches_skipped);
+        push_field(&mut out, "pages_initiated", self.pages_initiated);
+        push_field(&mut out, "pages_evicted_by_lib", self.pages_evicted_by_lib);
+        push_field(&mut out, "pages_evicted_by_os", self.pages_evicted_by_os);
+        push_field(&mut out, "device_read_bytes", self.device_read_bytes);
+        push_field(&mut out, "device_write_bytes", self.device_write_bytes);
+        push_field(&mut out, "resident_pages", self.resident_pages);
+        push_field(&mut out, "budget_pages", self.budget_pages);
+        push_field(&mut out, "os_lock_wait_ns", self.os_lock_wait_ns);
+        push_field(&mut out, "lib_lock_wait_ns", self.lib_lock_wait_ns);
+        push_field(&mut out, "trace_events_dropped", self.trace_events_dropped);
+        out.push_str(&format!("\"hit_ratio\":{:.6}", self.hit_ratio));
+        out.push_str("},");
+        out.push_str("\"prefetch_quality\":{");
+        push_field(&mut out, "timely", self.prefetch_quality.timely);
+        push_field(&mut out, "late", self.prefetch_quality.late);
+        out.push_str(&format!("\"wasted\":{}", self.prefetch_quality.wasted));
+        out.push_str("},");
+        out.push_str("\"histograms\":{");
+        let hists: [(&str, &HistogramSnapshot); 10] = [
+            ("read_cache_hit_ns", &self.read_cache_hit),
+            ("read_prefetch_hit_ns", &self.read_prefetch_hit),
+            ("read_demand_miss_ns", &self.read_demand_miss),
+            ("write_ns", &self.write_latency),
+            ("prefetch_ns", &self.prefetch_latency),
+            ("worker_queue_ns", &self.worker_queue),
+            ("os_lock_wait_ns", &self.os_lock_wait),
+            ("lib_lock_wait_ns", &self.lib_lock_wait),
+            ("evict_scan_ns", &self.evict_scan),
+            ("os_reclaim_scan_ns", &self.os_reclaim_scan),
+        ];
+        for (i, (name, snap)) in hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                name,
+                snap.count,
+                snap.sum,
+                snap.p50(),
+                snap.p95(),
+                snap.p99()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    fn latency_line(name: &str, snap: &HistogramSnapshot) -> String {
+        if snap.count == 0 {
+            format!("  {name:<16} (no samples)")
+        } else {
+            format!(
+                "  {:<16} n={:<8} p50={} ns  p95={} ns  p99={} ns",
+                name,
+                snap.count,
+                snap.p50(),
+                snap.p95(),
+                snap.p99()
+            )
+        }
+    }
+}
+
+fn push_field(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("\"{name}\":{value},"));
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_escape(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
 }
 
 impl fmt::Display for RuntimeReport {
@@ -101,6 +298,11 @@ impl fmt::Display for RuntimeReport {
         )?;
         writeln!(
             f,
+            "quality    : {} timely, {} late, {} wasted prefetched pages",
+            self.prefetch_quality.timely, self.prefetch_quality.late, self.prefetch_quality.wasted
+        )?;
+        writeln!(
+            f,
             "eviction   : {} pages by runtime, {} pages by OS LRU",
             self.pages_evicted_by_lib, self.pages_evicted_by_os
         )?;
@@ -111,12 +313,22 @@ impl fmt::Display for RuntimeReport {
             self.device_write_bytes as f64 / 1e6,
             self.prefetch_share() * 100.0
         )?;
-        write!(
+        writeln!(
             f,
             "lock waits : {} us OS-side, {} us user-side",
             self.os_lock_wait_ns / 1_000,
             self.lib_lock_wait_ns / 1_000
-        )
+        )?;
+        writeln!(f, "latency    :")?;
+        for (name, snap) in [
+            ("read/cache-hit", &self.read_cache_hit),
+            ("read/prefetch-hit", &self.read_prefetch_hit),
+            ("read/demand-miss", &self.read_demand_miss),
+            ("prefetch", &self.prefetch_latency),
+        ] {
+            writeln!(f, "{}", Self::latency_line(name, snap))?;
+        }
+        write!(f, "")
     }
 }
 
@@ -149,6 +361,13 @@ mod tests {
         assert!(report.pages_initiated > 0);
         assert!(report.device_read_bytes > 0);
         assert!(report.hit_ratio > 0.0);
+        // The latency histograms cover every read.
+        let latency_samples = report.read_cache_hit.count
+            + report.read_prefetch_hit.count
+            + report.read_demand_miss.count;
+        assert_eq!(latency_samples, 128);
+        // A sequential scan produces timely prefetched pages.
+        assert!(report.prefetch_quality.timely + report.prefetch_quality.late > 0);
     }
 
     #[test]
@@ -162,9 +381,11 @@ mod tests {
             "I/O",
             "cache",
             "prefetch",
+            "quality",
             "eviction",
             "device",
             "lock waits",
+            "latency",
         ] {
             assert!(rendered.contains(section), "missing section {section}");
         }
@@ -175,5 +396,72 @@ mod tests {
         let rt = runtime();
         let report = RuntimeReport::collect(&rt);
         assert_eq!(report.prefetch_share(), 0.0);
+    }
+
+    #[test]
+    fn prefetch_share_counts_partial_pages_and_stays_clamped() {
+        let rt = runtime();
+        let mut report = RuntimeReport::collect(&rt);
+        // Less than one page of device traffic still counts as traffic
+        // (the old integer division truncated this to zero pages).
+        report.device_read_bytes = 100;
+        report.pages_initiated = 1;
+        assert_eq!(report.prefetch_share(), 1.0);
+        // Initiated counts exceeding device traffic clamp at 1.0.
+        report.device_read_bytes = 2 * crate::PAGE_SIZE;
+        report.pages_initiated = 1000;
+        assert_eq!(report.prefetch_share(), 1.0);
+    }
+
+    #[test]
+    fn json_export_is_parseable_shape() {
+        let rt = runtime();
+        let mut clock = rt.new_clock();
+        let file = rt.create_sized(&mut clock, "/t", 4 << 20).unwrap();
+        for i in 0..32u64 {
+            file.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+        }
+        let json = RuntimeReport::collect(&rt).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema_version\":1"));
+        assert!(json.contains("\"read_cache_hit_ns\""));
+        assert!(json.contains("\"prefetch_quality\""));
+        // Balanced braces and quotes — cheap structural sanity without a
+        // JSON parser in the dependency-free build.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('"').count() % 2, 0, "unbalanced quotes");
+    }
+
+    #[test]
+    fn delta_is_monotonic_and_interval_scoped() {
+        let rt = runtime();
+        let mut clock = rt.new_clock();
+        let file = rt.create_sized(&mut clock, "/t", 8 << 20).unwrap();
+        for i in 0..64u64 {
+            file.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+        }
+        let first = RuntimeReport::collect(&rt);
+        for i in 64..96u64 {
+            file.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+        }
+        let second = RuntimeReport::collect(&rt);
+        let delta = second.delta(&first);
+        assert_eq!(delta.reads, 32);
+        // Monotone counters never go negative (saturating), and the delta
+        // is bounded by the later snapshot.
+        assert!(delta.pages_initiated <= second.pages_initiated);
+        assert!(delta.device_read_bytes <= second.device_read_bytes);
+        let delta_samples = delta.read_cache_hit.count
+            + delta.read_prefetch_hit.count
+            + delta.read_demand_miss.count;
+        assert_eq!(delta_samples, 32);
+        // Delta of a report with itself is empty.
+        let zero = second.delta(&second);
+        assert_eq!(zero.reads, 0);
+        assert_eq!(zero.read_cache_hit.count, 0);
     }
 }

@@ -17,6 +17,31 @@ use std::sync::Arc;
 
 use simclock::{FcfsResource, GlobalClock, ThreadClock};
 
+/// Timing facts about one dispatched job, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatch {
+    /// Worker index the job ran on.
+    pub worker: usize,
+    /// Virtual time the job was enqueued.
+    pub enqueue_ns: u64,
+    /// Virtual time the worker started issuing it.
+    pub start_ns: u64,
+    /// Virtual time the job's issuing completed.
+    pub end_ns: u64,
+}
+
+impl Dispatch {
+    /// Time the job sat in the queue before a worker picked it up.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.start_ns.saturating_sub(self.enqueue_ns)
+    }
+
+    /// Enqueue-to-completion latency.
+    pub fn latency_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.enqueue_ns)
+    }
+}
+
 /// A pool of virtual prefetch workers.
 #[derive(Debug)]
 pub struct WorkerPool {
@@ -60,8 +85,9 @@ impl WorkerPool {
     /// server occupancy reserved for the job (its issuing cost, not the
     /// device time, which the job charges itself).
     ///
-    /// Returns the virtual time at which the job's issuing completed.
-    pub fn dispatch<F>(&self, enqueue_ns: u64, estimated_ns: u64, job: F) -> u64
+    /// Returns the dispatch timing record (worker index, queue wait, and
+    /// the virtual time at which the job's issuing completed).
+    pub fn dispatch<F>(&self, enqueue_ns: u64, estimated_ns: u64, job: F) -> Dispatch
     where
         F: FnOnce(&mut ThreadClock),
     {
@@ -69,7 +95,12 @@ impl WorkerPool {
         let access = self.servers[idx].access(enqueue_ns, self.dispatch_ns + estimated_ns);
         let mut clock = ThreadClock::detached_at(Arc::clone(&self.global), access.start_ns);
         job(&mut clock);
-        clock.now()
+        Dispatch {
+            worker: idx,
+            enqueue_ns,
+            start_ns: access.start_ns,
+            end_ns: clock.now(),
+        }
     }
 
     /// Total queueing delay requests have experienced across workers.
@@ -94,18 +125,24 @@ mod tests {
     #[test]
     fn single_worker_serializes_jobs() {
         let pool = pool(1);
-        let end1 = pool.dispatch(0, 10_000, |_| {});
-        let end2 = pool.dispatch(0, 10_000, |_| {});
-        assert!(end2 >= end1 + 10_000);
+        let first = pool.dispatch(0, 10_000, |_| {});
+        let second = pool.dispatch(0, 10_000, |_| {});
+        assert!(second.end_ns >= first.end_ns + 10_000);
+        assert!(second.queue_wait_ns() >= 10_000);
         assert_eq!(pool.jobs(), 2);
     }
 
     #[test]
     fn more_workers_run_in_parallel() {
         let pool = pool(4);
-        let ends: Vec<u64> = (0..4).map(|_| pool.dispatch(0, 10_000, |_| {})).collect();
-        // All four run concurrently: all finish near 10_300.
-        assert!(ends.iter().all(|&e| e < 12_000));
+        let dispatches: Vec<Dispatch> = (0..4).map(|_| pool.dispatch(0, 10_000, |_| {})).collect();
+        // All four run concurrently: all finish near 10_300, on distinct
+        // workers, with no queueing.
+        assert!(dispatches.iter().all(|d| d.end_ns < 12_000));
+        assert!(dispatches.iter().all(|d| d.queue_wait_ns() == 0));
+        let workers: std::collections::HashSet<usize> =
+            dispatches.iter().map(|d| d.worker).collect();
+        assert_eq!(workers.len(), 4);
         assert_eq!(pool.total_wait_ns(), 0);
     }
 
@@ -120,8 +157,9 @@ mod tests {
     #[test]
     fn job_device_time_extends_completion() {
         let pool = pool(1);
-        let end = pool.dispatch(0, 100, |clock| clock.advance(50_000));
-        assert!(end >= 50_000);
+        let dispatch = pool.dispatch(0, 100, |clock| clock.advance(50_000));
+        assert!(dispatch.end_ns >= 50_000);
+        assert!(dispatch.latency_ns() >= 50_000);
     }
 
     #[test]

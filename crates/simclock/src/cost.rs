@@ -1,7 +1,5 @@
 //! Per-operation virtual-time cost constants.
 
-use serde::{Deserialize, Serialize};
-
 /// Virtual-time costs for the software operations in the simulated stack.
 ///
 /// All values are nanoseconds and loosely calibrated against published
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// set scale, while queueing on [`FcfsResource`]s sets relative ordering.
 ///
 /// [`FcfsResource`]: crate::FcfsResource
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostModel {
     /// Fixed user/kernel crossing cost charged per system call.
     pub syscall_ns: u64,

@@ -1,0 +1,305 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! Every layer of the stack records virtual-nanosecond durations into
+//! [`Histogram`]s: 64 power-of-two buckets cover the full `u64` range, so
+//! recording is two relaxed atomic adds (bucket + sum) and never allocates.
+//! Percentile queries interpolate linearly inside the winning bucket, which
+//! is the usual HdrHistogram-style trade: exact counts, bounded relative
+//! error on quantiles (at most 2x, the width of a log2 bucket).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: bucket `i` holds values whose bit length is `i`
+/// (bucket 0 holds the value zero, bucket 1 holds exactly 1, bucket 2 holds
+/// 2..=3, and so on up to bucket 64 for values with the top bit set).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A concurrent fixed-bucket log2 histogram over `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An owned point-in-time copy of a histogram, used for report snapshots
+/// and interval deltas.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+/// The bucket a value lands in: its bit length.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Lower bound (inclusive) of bucket `i`.
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Upper bound (inclusive) of bucket `i`.
+pub fn bucket_ceil(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / count as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), interpolated linearly inside the
+    /// winning log2 bucket. Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// An owned copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), interpolated linearly inside the
+    /// winning log2 bucket. Returns zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based, at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = bucket_floor(i);
+                let hi = bucket_ceil(i);
+                // Position inside this bucket, interpolated over its span.
+                let into = rank - seen; // 1..=n
+                let span = hi - lo;
+                return lo + span * (into - 1) / n.max(1);
+            }
+            seen += n;
+        }
+        bucket_ceil(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Per-bucket difference against an earlier snapshot of the same
+    /// histogram. Saturates at zero so a reset histogram yields an empty
+    /// delta rather than underflowing.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| n.saturating_sub(earlier.buckets.get(i).copied().unwrap_or(0)))
+            .collect();
+        HistogramSnapshot {
+            buckets,
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            assert_eq!(bucket_of(bucket_floor(i)), i);
+            assert_eq!(bucket_of(bucket_ceil(i)), i);
+        }
+    }
+
+    #[test]
+    fn count_sum_mean_roundtrip() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_samples() {
+        let h = Histogram::new();
+        // 100 samples in distinct buckets 1..=100 collapse into log2
+        // buckets; quantiles must stay within a bucket-width (2x) of truth.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        assert!((25..=100).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((64..=127).contains(&p99), "p99 = {p99}");
+        assert!(h.p95() <= p99 || h.p95() >= p50, "quantiles ordered");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 9, 120, 4000, 4001, 70_000] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_hit_its_bucket() {
+        let h = Histogram::new();
+        h.record(1000);
+        let (lo, hi) = (bucket_floor(bucket_of(1000)), bucket_ceil(bucket_of(1000)));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= lo && v <= hi, "q={q} -> {v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts() {
+        let h = Histogram::new();
+        h.record(100);
+        let early = h.snapshot();
+        h.record(100);
+        h.record(7);
+        let delta = h.snapshot().delta(&early);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 107);
+        assert_eq!(delta.buckets[bucket_of(100)], 1);
+        assert_eq!(delta.buckets[bucket_of(7)], 1);
+    }
+}

@@ -32,11 +32,13 @@
 
 mod clock;
 mod cost;
+mod hist;
 mod resource;
 mod stats;
 
 pub use clock::{GlobalClock, ThreadClock};
 pub use cost::CostModel;
+pub use hist::{bucket_ceil, bucket_floor, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
 pub use resource::{Access, FcfsResource, RwContention};
 pub use stats::{Counter, LockStats, Throughput};
 

@@ -21,6 +21,38 @@ pub const PAGES_PER_WORD: u64 = 64;
 /// A contiguous page range `[start, end)` within a file.
 pub type PageRange = (u64, u64);
 
+/// Lifetime classification of prefetched pages (the paper's accuracy story
+/// made measurable): a prefetched page is *timely* if it was resident and
+/// ready before its first access, *late* if it was still in flight when the
+/// access arrived, and *wasted* if it was evicted without ever being read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchQuality {
+    /// Prefetched pages that were ready before first access.
+    pub timely: u64,
+    /// Prefetched pages still in flight at first access.
+    pub late: u64,
+    /// Prefetched pages evicted untouched.
+    pub wasted: u64,
+}
+
+impl PrefetchQuality {
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: PrefetchQuality) {
+        self.timely += other.timely;
+        self.late += other.late;
+        self.wasted += other.wasted;
+    }
+
+    /// Component-wise difference against an earlier snapshot (saturating).
+    pub fn delta(self, earlier: PrefetchQuality) -> PrefetchQuality {
+        PrefetchQuality {
+            timely: self.timely.saturating_sub(earlier.timely),
+            late: self.late.saturating_sub(earlier.late),
+            wasted: self.wasted.saturating_sub(earlier.wasted),
+        }
+    }
+}
+
 /// Mutable cache state, guarded by the inode's real lock.
 #[derive(Debug, Default)]
 pub struct CacheState {
@@ -32,10 +64,14 @@ pub struct CacheState {
     ready: Vec<u64>,
     /// Dirty bitmap, one bit per page.
     dirty: Vec<u64>,
+    /// Prefetched-but-not-yet-accessed bitmap, one bit per page.
+    speculative: Vec<u64>,
     /// Total present pages.
     resident: u64,
     /// Total dirty pages.
     dirty_pages: u64,
+    /// Prefetch-quality tallies for this file.
+    quality: PrefetchQuality,
 }
 
 impl CacheState {
@@ -46,6 +82,7 @@ impl CacheState {
             self.touch.resize(need, 0);
             self.ready.resize(need, 0);
             self.dirty.resize(need, 0);
+            self.speculative.resize(need, 0);
         }
     }
 
@@ -100,6 +137,93 @@ impl CacheState {
         }
         self.resident += inserted;
         inserted
+    }
+
+    /// Inserts `[start, end)` on behalf of a prefetch path: identical to
+    /// [`CacheState::insert_range`] but newly inserted pages are flagged
+    /// *speculative* so their first access (or eviction) can be classified
+    /// for prefetch-quality accounting.
+    pub fn insert_range_prefetched(
+        &mut self,
+        start: u64,
+        end: u64,
+        now: u64,
+        ready_at: u64,
+    ) -> u64 {
+        if end <= start {
+            return 0;
+        }
+        self.ensure_pages(end);
+        let mut inserted = 0;
+        for page in start..end {
+            let (w, b) = ((page / PAGES_PER_WORD) as usize, page % PAGES_PER_WORD);
+            if self.words[w] & (1 << b) == 0 {
+                self.words[w] |= 1 << b;
+                self.speculative[w] |= 1 << b;
+                inserted += 1;
+            }
+            self.touch[w] = self.touch[w].max(now);
+            self.ready[w] = self.ready[w].max(ready_at);
+        }
+        self.resident += inserted;
+        inserted
+    }
+
+    /// Classifies the first access to any speculative pages in
+    /// `[start, end)` at virtual time `now`: a speculative page whose fill
+    /// completed by `now` counts as *timely*, one still in flight as
+    /// *late*. Consumed pages lose their speculative flag. Returns
+    /// `(timely, late)` for this access.
+    pub fn classify_access(&mut self, start: u64, end: u64, now: u64) -> (u64, u64) {
+        if end <= start || self.speculative.is_empty() {
+            return (0, 0);
+        }
+        let first = (start / PAGES_PER_WORD) as usize;
+        let last = (((end - 1) / PAGES_PER_WORD) as usize).min(self.speculative.len() - 1);
+        if first >= self.speculative.len() {
+            return (0, 0);
+        }
+        let (mut timely, mut late) = (0u64, 0u64);
+        for w in first..=last {
+            if self.speculative[w] == 0 {
+                continue;
+            }
+            let wbase = w as u64 * PAGES_PER_WORD;
+            let lo = start.max(wbase) - wbase;
+            let hi = (end.min(wbase + PAGES_PER_WORD) - wbase).min(PAGES_PER_WORD);
+            let mask = if hi - lo == PAGES_PER_WORD {
+                u64::MAX
+            } else {
+                ((1u64 << (hi - lo)) - 1) << lo
+            };
+            let hit = self.speculative[w] & mask;
+            if hit == 0 {
+                continue;
+            }
+            self.speculative[w] &= !mask;
+            let n = u64::from(hit.count_ones());
+            if self.ready[w] <= now {
+                timely += n;
+            } else {
+                late += n;
+            }
+        }
+        self.quality.timely += timely;
+        self.quality.late += late;
+        (timely, late)
+    }
+
+    /// Prefetch-quality tallies accumulated so far.
+    pub fn quality(&self) -> PrefetchQuality {
+        self.quality
+    }
+
+    /// Speculative (prefetched, never accessed) pages currently resident.
+    pub fn speculative_pages(&self) -> u64 {
+        self.speculative
+            .iter()
+            .map(|w| u64::from(w.count_ones()))
+            .sum()
     }
 
     /// Marks `[start, end)` recently used without changing presence.
@@ -182,6 +306,10 @@ impl CacheState {
                     self.dirty[w] &= !(1 << b);
                     dirty += 1;
                 }
+                if self.speculative[w] & (1 << b) != 0 {
+                    self.speculative[w] &= !(1 << b);
+                    self.quality.wasted += 1;
+                }
             }
         }
         self.resident -= removed;
@@ -196,8 +324,10 @@ impl CacheState {
         }
         let removed = self.words[widx].count_ones() as u64;
         let dirty = self.dirty[widx].count_ones() as u64;
+        self.quality.wasted += u64::from(self.speculative[widx].count_ones());
         self.words[widx] = 0;
         self.dirty[widx] = 0;
+        self.speculative[widx] = 0;
         self.resident -= removed;
         self.dirty_pages -= dirty;
         (removed, dirty)
@@ -398,6 +528,60 @@ mod tests {
         assert_eq!(snap, vec![0b11, 0b10]);
         // Window beyond coverage yields zeros.
         assert_eq!(cache.snapshot_words(640, 704), vec![0]);
+    }
+
+    #[test]
+    fn quality_classifies_timely_late_wasted() {
+        let mut cache = CacheState::default();
+        // Prefetch [0, 64) ready at t=100 and [64, 128) ready at t=900.
+        cache.insert_range_prefetched(0, 64, 10, 100);
+        cache.insert_range_prefetched(64, 128, 10, 900);
+        assert_eq!(cache.speculative_pages(), 128);
+
+        // Access the first word after its fill landed: timely.
+        assert_eq!(cache.classify_access(0, 32, 500), (32, 0));
+        // Access the second word while still in flight: late.
+        assert_eq!(cache.classify_access(64, 80, 500), (0, 16));
+        // The rest of both fills has landed by t=1000: timely. Already
+        // consumed pages are not re-classified.
+        assert_eq!(cache.classify_access(0, 128, 1_000), (80, 0));
+        assert_eq!(cache.classify_access(0, 128, 2_000), (0, 0));
+        assert_eq!(cache.speculative_pages(), 0);
+
+        let q = cache.quality();
+        assert_eq!((q.timely, q.late, q.wasted), (112, 16, 0));
+    }
+
+    #[test]
+    fn quality_counts_wasted_on_eviction() {
+        let mut cache = CacheState::default();
+        cache.insert_range_prefetched(0, 64, 10, 0);
+        cache.insert_range_prefetched(64, 100, 10, 0);
+        cache.classify_access(0, 10, 50); // 10 timely
+        cache.evict_word(0); // 54 untouched speculative pages
+        let (removed, _) = cache.remove_range(64, 100);
+        assert_eq!(removed, 36);
+        let q = cache.quality();
+        assert_eq!((q.timely, q.late, q.wasted), (10, 0, 54 + 36));
+        assert_eq!(cache.speculative_pages(), 0);
+    }
+
+    #[test]
+    fn demand_insert_is_not_speculative() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 64, 10, 0);
+        assert_eq!(cache.speculative_pages(), 0);
+        assert_eq!(cache.classify_access(0, 64, 50), (0, 0));
+        cache.evict_word(0);
+        assert_eq!(cache.quality(), PrefetchQuality::default());
+    }
+
+    #[test]
+    fn prefetch_reinsert_of_present_page_stays_nonspeculative() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 32, 10, 0); // demand-resident
+        cache.insert_range_prefetched(0, 64, 20, 0); // overlaps
+        assert_eq!(cache.speculative_pages(), 32); // only the new half
     }
 
     #[test]

@@ -227,7 +227,7 @@ impl Os {
             {
                 let mut state = cache.state.write();
                 for &(s, e, ready) in &chunk_ready {
-                    initiated += state.insert_range(s, e, touch, ready);
+                    initiated += state.insert_range_prefetched(s, e, touch, ready);
                 }
             }
             self.stats().prefetched_pages.add(initiated);
@@ -252,6 +252,19 @@ impl Os {
         clock.advance(
             costs.bitmap_copy_ns((w1.saturating_sub(w0).max(1)) >> req.bitmap_shift.min(16)),
         );
+
+        if let Some(sink) = self.trace_sink() {
+            sink.emit_os_event(
+                clock.now(),
+                crate::trace::OsTraceEvent::RaInfoCall {
+                    ino: entry.ino,
+                    start_page: p0,
+                    pages: range_pages,
+                    cached_pages,
+                    initiated_pages: initiated,
+                },
+            );
+        }
 
         let state = cache.state.read();
         RaInfo {

@@ -51,12 +51,15 @@ mod os;
 pub mod readahead;
 pub mod reclaim;
 mod stats;
+pub mod trace;
 
+pub use cache::PrefetchQuality;
 pub use config::OsConfig;
 pub use crossos::{bitmap_has_page, RaInfo, RaInfoRequest};
 pub use mmap::MmapOutcome;
 pub use os::{Advice, Fd, FdEntry, Os, ReadOutcome, PAGE_SIZE};
 pub use stats::OsStats;
+pub use trace::{OsTraceEvent, OsTraceSink};
 
 // Re-exports so downstream crates name one coherent surface.
 pub use simfs::{FileSystem, FsError, FsKind, InodeId};

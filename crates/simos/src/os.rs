@@ -1,6 +1,6 @@
 //! The OS facade: file descriptors, read/write/prefetch syscalls, reclaim.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 use simclock::{FcfsResource, GlobalClock, ThreadClock};
@@ -11,6 +11,7 @@ use crate::cache::InodeCache;
 use crate::readahead::{RaMode, RaState};
 use crate::reclaim::{select_victims, MemoryManager};
 use crate::stats::OsStats;
+use crate::trace::{OsTraceEvent, OsTraceSink};
 use crate::OsConfig;
 
 /// Page size in bytes (same as the device block size).
@@ -59,6 +60,10 @@ pub struct ReadOutcome {
     pub hit_pages: u64,
     /// Pages that required device I/O on the critical path.
     pub miss_pages: u64,
+    /// Of the hit pages, those placed by a prefetch path and touched here
+    /// for the first time (timely + late) — distinguishes a prefetch-hit
+    /// read from a plain cache-hit re-read.
+    pub prefetch_hit_pages: u64,
     /// Bytes delivered.
     pub bytes: u64,
 }
@@ -80,6 +85,8 @@ pub struct Os {
     /// Process address-space lock (taken by fincore/mincore and faults).
     mmap_lock: FcfsResource,
     stats: OsStats,
+    /// Cross-layer trace sink installed by CROSS-LIB (write-once).
+    trace: OnceLock<Arc<dyn OsTraceSink>>,
 }
 
 impl Os {
@@ -96,7 +103,20 @@ impl Os {
             mem,
             mmap_lock: FcfsResource::new("mmap-sem"),
             stats: OsStats::default(),
+            trace: OnceLock::new(),
         })
+    }
+
+    /// Installs the cross-layer trace sink. Write-once: later calls are
+    /// ignored so multiple runtimes over one OS keep the first sink.
+    pub fn set_trace_sink(&self, sink: Arc<dyn OsTraceSink>) {
+        let _ = self.trace.set(sink);
+    }
+
+    /// The installed trace sink if one exists *and* tracing is on — one
+    /// `OnceLock` load plus one atomic flag check.
+    pub(crate) fn trace_sink(&self) -> Option<&Arc<dyn OsTraceSink>> {
+        self.trace.get().filter(|sink| sink.enabled())
     }
 
     /// The configuration in effect.
@@ -306,21 +326,26 @@ impl Os {
         // Slow path: walk the cache tree under the tree lock (read side),
         // one pagevec batch at a time.
         let mut remaining = pages;
+        let mut tree_wait_ns = 0;
         while remaining > 0 {
             let batch = remaining.min(15);
             let access = cache
                 .tree_lock
                 .read(clock.now(), costs.tree_walk_per_page_ns * batch);
             clock.advance_to(access.end_ns);
+            tree_wait_ns += access.wait_ns;
             remaining -= batch;
         }
+        self.stats.lock_wait_hist.record(tree_wait_ns);
 
-        let (missing, ready_at, present) = {
-            let state = cache.state.read();
+        let (missing, ready_at, present, prefetch_hit) = {
+            let mut state = cache.state.write();
+            let (timely, late) = state.classify_access(p0, p1, clock.now());
             (
                 state.missing_runs(p0, p1),
                 state.ready_max(p0, p1),
                 state.present_in(p0, p1),
+                timely + late,
             )
         };
         cache.hits.add(present);
@@ -400,6 +425,16 @@ impl Os {
         // Heuristic readahead.
         let ra_request = entry.ra.lock().on_read(p0, pages);
         if let Some(req) = ra_request {
+            if let Some(sink) = self.trace_sink() {
+                sink.emit_os_event(
+                    clock.now(),
+                    OsTraceEvent::RaWindowGrow {
+                        ino: entry.ino,
+                        start_page: req.start,
+                        window_pages: req.count,
+                    },
+                );
+            }
             self.prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
         }
 
@@ -407,6 +442,7 @@ impl Os {
             pages,
             hit_pages: present,
             miss_pages: pages - present,
+            prefetch_hit_pages: prefetch_hit,
             bytes: len,
         }
     }
@@ -469,7 +505,7 @@ impl Os {
         {
             let mut state = cache.state.write();
             for &(cstart, cend, ready) in &chunk_ready {
-                newly += state.insert_range(cstart, cend, touch, ready);
+                newly += state.insert_range_prefetched(cstart, cend, touch, ready);
             }
         }
         self.stats.prefetched_pages.add(newly);
@@ -756,6 +792,7 @@ impl Os {
         if target == 0 {
             return;
         }
+        let scan_start_ns = clock.now();
         self.mem.reclaim_runs.incr();
         let caches = self.all_caches();
         let victims = if self.config.per_inode_lru {
@@ -765,6 +802,7 @@ impl Os {
         };
         let costs = &self.config.costs;
         let mut dirty_total = 0;
+        let mut freed_total = 0;
         for (_, idx, widx, _) in victims {
             let cache = &caches[idx];
             let (removed, dirty) = cache.state.write().evict_word(widx);
@@ -779,6 +817,19 @@ impl Os {
             self.mem.note_cleaned(dirty);
             self.mem.evicted.add(removed);
             dirty_total += dirty;
+            freed_total += removed;
+        }
+        self.stats
+            .reclaim_scan_hist
+            .record(clock.now() - scan_start_ns);
+        if let Some(sink) = self.trace_sink() {
+            sink.emit_os_event(
+                clock.now(),
+                OsTraceEvent::OsReclaim {
+                    target_pages: target,
+                    freed_pages: freed_total,
+                },
+            );
         }
         if dirty_total > 0 {
             let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
@@ -796,6 +847,16 @@ impl Os {
             .map(|c| c.tree_lock.total_wait_ns() + c.bitmap_lock.total_wait_ns())
             .sum();
         cache_wait + self.mmap_lock.stats().wait_ns()
+    }
+
+    /// Aggregate prefetch-quality tallies (timely/late/wasted) over all
+    /// files.
+    pub fn prefetch_quality(&self) -> crate::cache::PrefetchQuality {
+        let mut total = crate::cache::PrefetchQuality::default();
+        for cache in self.all_caches() {
+            total.merge(cache.state.read().quality());
+        }
+        total
     }
 
     /// Global page-cache hit ratio over all files.

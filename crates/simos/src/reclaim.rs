@@ -133,7 +133,7 @@ pub fn select_victims_per_inode(caches: &[Arc<InodeCache>], target: u64) -> Vec<
         .map(|(idx, cache)| (cache.state.read().resident(), idx))
         .filter(|&(resident, _)| resident > 0)
         .collect();
-    by_size.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+    by_size.sort_unstable_by_key(|&(resident, _)| std::cmp::Reverse(resident));
 
     let mut victims = Vec::new();
     let mut freed = 0;

@@ -1,6 +1,6 @@
 //! OS-wide counters.
 
-use simclock::Counter;
+use simclock::{Counter, Histogram};
 
 /// Aggregate counters over all files and descriptors.
 #[derive(Debug, Default)]
@@ -37,6 +37,10 @@ pub struct OsStats {
     /// Time reads spent on synchronous demand fills (device on the
     /// critical path).
     pub demand_fill_ns: Counter,
+    /// Distribution of per-read cache-tree lock wait (OS-side lock wait).
+    pub lock_wait_hist: Histogram,
+    /// Distribution of reclaim-pass scan time.
+    pub reclaim_scan_hist: Histogram,
 }
 
 #[cfg(test)]

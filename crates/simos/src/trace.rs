@@ -1,0 +1,57 @@
+//! OS-side decision-event export.
+//!
+//! The simulated OS does not know about CROSS-LIB's trace log (that would
+//! invert the layering), so it emits structured events through an injected
+//! [`OsTraceSink`]. CROSS-LIB installs its `TraceLog` as the sink when a
+//! runtime boots; without a sink installed, every emit site is a single
+//! `OnceLock` load that finds nothing.
+//!
+//! Emit sites sit off the per-page hot path: `readahead_info` calls,
+//! heuristic readahead window growth, and reclaim passes.
+
+use simfs::InodeId;
+
+/// A structured OS-layer decision event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsTraceEvent {
+    /// One `readahead_info` call (CROSS-OS §4.4): what the caller asked
+    /// about and what the fast path found/started.
+    RaInfoCall {
+        /// File the call targeted.
+        ino: InodeId,
+        /// First page of the requested range.
+        start_page: u64,
+        /// Pages in the requested range.
+        pages: u64,
+        /// Pages already cached.
+        cached_pages: u64,
+        /// Pages newly scheduled for prefetch.
+        initiated_pages: u64,
+    },
+    /// The heuristic readahead state machine issued (or grew) a window.
+    RaWindowGrow {
+        /// File the window belongs to.
+        ino: InodeId,
+        /// First page of the new window.
+        start_page: u64,
+        /// Window size in pages.
+        window_pages: u64,
+    },
+    /// One OS reclaim pass.
+    OsReclaim {
+        /// Pages reclaim wanted to free.
+        target_pages: u64,
+        /// Pages actually freed.
+        freed_pages: u64,
+    },
+}
+
+/// Receiver for OS-layer trace events, installed via
+/// [`crate::Os::set_trace_sink`].
+pub trait OsTraceSink: Send + Sync + std::fmt::Debug {
+    /// Cheap pre-check: emit sites skip event construction when false.
+    fn enabled(&self) -> bool;
+
+    /// Delivers one event stamped with the emitting thread's virtual time.
+    fn emit_os_event(&self, ts_ns: u64, event: OsTraceEvent);
+}

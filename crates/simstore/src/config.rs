@@ -1,6 +1,5 @@
 //! Device performance parameters.
 
-use serde::{Deserialize, Serialize};
 use simclock::{NS_PER_MS, NS_PER_US};
 
 /// Performance parameters of a simulated block device.
@@ -10,7 +9,7 @@ use simclock::{NS_PER_MS, NS_PER_US};
 /// [`DeviceConfig::remote_nvmeof`] for RDMA-attached NVMe-oF storage, which
 /// adds a network round trip to every request and loses some bandwidth to
 /// the fabric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     /// Sequential read bandwidth in bytes per second.
     pub read_bw: f64,

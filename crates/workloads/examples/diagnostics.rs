@@ -44,7 +44,7 @@ fn multiget() {
     println!("--- multireadrandom, 32 threads, DB fits in memory ---");
     for mode in [Mode::AppOnly, Mode::OsOnly, Mode::Predict, Mode::PredictOpt] {
         let (rt, bench) = lsm(mode, 512, 100_000, 4096);
-        let result = bench.multiread_random(32, 40, 16, 0xF16_2);
+        let result = bench.multiread_random(32, 40, 16, 0xF162);
         report(
             &rt,
             format!(
@@ -146,7 +146,7 @@ fn threads() {
     println!("--- multireadrandom scaling ---");
     for t in [1usize, 8, 32] {
         let (rt, bench) = lsm(Mode::PredictOpt, 512, 100_000, 4096);
-        let result = bench.multiread_random(t, 1280 / t as u64, 16, 0xF16_2);
+        let result = bench.multiread_random(t, 1280 / t as u64, 16, 0xF162);
         report(&rt, format!("threads={t}: {:.0} kops/s", result.kops()));
     }
 }

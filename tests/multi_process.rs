@@ -21,7 +21,9 @@ fn runtimes_share_the_page_cache() {
     let consumer = Runtime::with_mode(Arc::clone(&os), Mode::OsOnly);
 
     let mut clock = producer.new_clock();
-    let file = producer.create_sized(&mut clock, "/ipc/blob", 8 << 20).unwrap();
+    let file = producer
+        .create_sized(&mut clock, "/ipc/blob", 8 << 20)
+        .unwrap();
     for i in 0..128u64 {
         file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024);
     }
@@ -31,7 +33,10 @@ fn runtimes_share_the_page_cache() {
     let mut clock2 = consumer.new_clock();
     let file2 = consumer.open(&mut clock2, "/ipc/blob").unwrap();
     let outcome = file2.read_charge(&mut clock2, 0, 4 << 20);
-    assert_eq!(outcome.miss_pages, 0, "second process must hit shared cache");
+    assert_eq!(
+        outcome.miss_pages, 0,
+        "second process must hit shared cache"
+    );
 }
 
 #[test]
@@ -61,7 +66,7 @@ fn mixed_mechanisms_coexist_under_memory_pressure() {
     let crossp = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
     let plain = Runtime::with_mode(Arc::clone(&os), Mode::OsOnly);
     {
-        let mut c = os.new_clock();
+        let c = os.new_clock();
         os.fs().create_sized("/mix/a", 32 << 20).unwrap();
         os.fs().create_sized("/mix/b", 32 << 20).unwrap();
         let _ = c.now();
@@ -75,7 +80,9 @@ fn mixed_mechanisms_coexist_under_memory_pressure() {
                 let file = rt.open(&mut clock, path).unwrap();
                 let mut miss = 0u64;
                 for i in 0..512u64 {
-                    miss += file.read_charge(&mut clock, i * 64 * 1024, 64 * 1024).miss_pages;
+                    miss += file
+                        .read_charge(&mut clock, i * 64 * 1024, 64 * 1024)
+                        .miss_pages;
                 }
                 miss
             }));

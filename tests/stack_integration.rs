@@ -178,6 +178,66 @@ fn snappy_workload_compresses_file_contents_faithfully() {
 }
 
 #[test]
+fn prefetch_quality_and_trace_cover_sequential_then_random() {
+    use crossprefetch::RuntimeReport;
+    use std::collections::HashSet;
+
+    let os = boot(64, FsKind::Ext4Like);
+    let rt = Runtime::with_mode(Arc::clone(&os), Mode::PredictOpt);
+    assert!(!rt.trace().is_enabled(), "tracing must default to off");
+    rt.trace().set_enabled(true);
+    let mut clock = rt.new_clock();
+    let file = rt.create_sized(&mut clock, "/q/data", 32 << 20).unwrap();
+
+    // Phase 1: sequential scan of the first 8 MiB. The predictor ramps,
+    // prefetch runs ahead, and consumed speculative pages classify as
+    // timely (or late when the read overtakes the fill).
+    for i in 0..512u64 {
+        file.read_charge(&mut clock, i * 16 * 1024, 16 * 1024);
+    }
+    let mid = os.prefetch_quality();
+    assert!(
+        mid.timely + mid.late > 0,
+        "sequential phase must consume prefetched pages"
+    );
+
+    // Phase 2: far random jumps. The predictor collapses to random (no
+    // new prefetch), leaving the pages speculated ahead of the abandoned
+    // sequential stream untouched.
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..256 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let offset = (state % (31 << 20)) & !4095;
+        file.read_charge(&mut clock, offset, 16 * 1024);
+    }
+
+    // Evicting those never-read speculative pages marks them wasted.
+    os.drop_caches(&mut clock);
+    let quality = os.prefetch_quality();
+    assert!(quality.timely > 0, "expected timely pages, got {quality:?}");
+    assert!(quality.wasted > 0, "expected wasted pages, got {quality:?}");
+
+    // The latency histograms separate outcome classes: the stream produces
+    // prefetch hits, the random phase produces demand misses.
+    let report = RuntimeReport::collect(&rt);
+    assert!(report.read_prefetch_hit.count > 0);
+    assert!(report.read_demand_miss.count > 0);
+    assert_eq!(report.prefetch_quality.timely, quality.timely);
+
+    // And the decision trace spans both layers with distinct event kinds.
+    let events = rt.trace().snapshot();
+    let kinds: HashSet<&str> = events.iter().map(|e| e.kind.name()).collect();
+    assert!(
+        kinds.len() >= 5,
+        "expected >=5 distinct event kinds, got {kinds:?}"
+    );
+    assert!(kinds.contains("read-exit"));
+    assert!(kinds.contains("ra-info-call"), "OS events must bridge over");
+}
+
+#[test]
 fn mode_comparison_shapes_hold_end_to_end() {
     // The headline ordering on a batched-random shared file, asserted
     // across the whole stack in one place. Four threads keep the run in
