@@ -148,8 +148,16 @@ pub struct RuntimeConfig {
     /// Minimum idle time (virtual ns) before the memory watcher may evict
     /// a file — protects files other threads are actively streaming.
     pub evict_min_idle_ns: u64,
+    /// Minimum interval (virtual ns) between memory-watcher eviction
+    /// scans; reads arriving inside the window skip the scan entirely.
+    pub evict_scan_interval_ns: u64,
     /// Issue a fincore poll every N reads (FincoreApp mode).
     pub fincore_poll_interval: u64,
+    /// Attempts a worker makes on a transiently failing prefetch before
+    /// giving the range up (first try + retries).
+    pub prefetch_retry_attempts: u32,
+    /// Initial retry backoff in virtual ns; doubles per attempt.
+    pub prefetch_retry_backoff_ns: u64,
 }
 
 impl RuntimeConfig {
@@ -167,7 +175,10 @@ impl RuntimeConfig {
             evict_trigger: 0.10,
             evict_target: 0.25,
             evict_min_idle_ns: 100 * simclock::NS_PER_MS,
+            evict_scan_interval_ns: simclock::NS_PER_MS,
             fincore_poll_interval: 32,
+            prefetch_retry_attempts: 4,
+            prefetch_retry_backoff_ns: 100 * simclock::NS_PER_US,
         }
     }
 

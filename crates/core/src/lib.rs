@@ -71,6 +71,6 @@ pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
 
 // One coherent import surface for workloads and benches.
 pub use simos::{
-    Advice, Device, DeviceConfig, Fd, FileSystem, FsError, FsKind, InodeId, MmapOutcome, Os,
-    OsConfig, RaInfo, RaInfoRequest, ReadOutcome, PAGE_SIZE,
+    Advice, Device, DeviceConfig, DeviceError, FaultPlan, Fd, FileSystem, FsError, FsKind, InodeId,
+    IoError, MmapOutcome, Os, OsConfig, RaInfo, RaInfoRequest, ReadOutcome, PAGE_SIZE,
 };

@@ -270,10 +270,17 @@ impl RangeTree {
 
     /// Clears the whole user-level view (after CROSS-LIB evicts the file).
     /// Returns pages cleared.
+    ///
+    /// Nodes whose bitmap was never populated carry no state worth
+    /// scanning: a cheap shared peek skips the exclusive-lock charge for
+    /// them, so clearing a sparse view is not billed as a full-file scan.
     pub fn clear(&self, clock: &mut ThreadClock, costs: &CostModel, scope: LockScope) -> u64 {
         let nodes = self.nodes.read().clone();
         let mut cleared = 0;
         for node in &nodes {
+            if node.state.read().bitmap.is_empty() {
+                continue;
+            }
             self.charge(clock, costs, scope, node, true, NODE_PAGES);
             cleared += node.state.write().clear_all();
         }

@@ -2,12 +2,14 @@
 //! memory-budget policies.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use simclock::ThreadClock;
-use simos::{Advice, Fd, FsError, InodeId, MmapOutcome, Os, RaInfoRequest, ReadOutcome, PAGE_SIZE};
+use simos::{
+    Advice, Fd, FsError, InodeId, IoError, MmapOutcome, Os, RaInfoRequest, ReadOutcome, PAGE_SIZE,
+};
 
 use crate::config::{Features, Mode, RuntimeConfig};
 use crate::metrics::{ReadClass, RuntimeMetrics};
@@ -109,6 +111,12 @@ struct RuntimeInner {
     trace: Arc<TraceLog>,
     /// Always-on latency distributions.
     metrics: RuntimeMetrics,
+    /// One-way degradation latch: set when the kernel rejects
+    /// `readahead_info` (`IoError::Unsupported`). Once set, every
+    /// visibility prefetch is issued as blind `readahead(2)` instead —
+    /// CROSS-LIB on a stock kernel keeps working, it just loses the
+    /// cache-visibility syscall savings.
+    degraded: AtomicBool,
 }
 
 impl Runtime {
@@ -133,6 +141,7 @@ impl Runtime {
                 aggressive_pause_until: AtomicU64::new(0),
                 trace,
                 metrics: RuntimeMetrics::default(),
+                degraded: AtomicBool::new(false),
             }),
         }
     }
@@ -165,6 +174,13 @@ impl Runtime {
     /// Worker-pool telemetry.
     pub fn workers(&self) -> &WorkerPool {
         &self.inner.workers
+    }
+
+    /// Whether the runtime has permanently downgraded cache-visibility
+    /// prefetch to blind `readahead(2)` because the kernel rejected
+    /// `readahead_info` (runs against a stock kernel without CROSS-OS).
+    pub fn degraded_to_blind(&self) -> bool {
+        self.inner.degraded.load(Ordering::Relaxed)
     }
 
     /// The decision-event trace log (disabled by default; turn on with
@@ -395,8 +411,13 @@ impl Runtime {
         // Reserve worker occupancy proportional to the syscalls the job
         // will issue.
         let os_cap = inner.os.config().ra_max_pages;
-        let call_estimate = if relax {
-            missing.len() as u64
+        let call_estimate: u64 = if relax {
+            // One syscall per max_pages chunk of each missing run — a run
+            // longer than the relaxed ceiling still takes several calls.
+            missing
+                .iter()
+                .map(|&(s, e)| (e - s).div_ceil(max_pages.max(1)))
+                .sum()
         } else {
             total.div_ceil(os_cap.max(1))
         };
@@ -435,6 +456,18 @@ impl Runtime {
     }
 
     /// Worker half: actually issue the prefetch syscalls.
+    ///
+    /// Every attempt goes through the fallible OS surface, so injected
+    /// faults reach the degradation ladder:
+    ///
+    /// * a transient device error (`IoError::Io`) is retried after
+    ///   exponential backoff in virtual time, up to
+    ///   [`RuntimeConfig::prefetch_retry_attempts`] tries; exhaustion
+    ///   abandons the chunk *without* marking it in the user-level view,
+    ///   so later reads demand-fetch it correctly;
+    /// * `IoError::Unsupported` from `readahead_info` (a stock kernel
+    ///   without CROSS-OS) flips the runtime-wide one-way `degraded`
+    ///   latch and re-issues the same chunk as blind `readahead(2)`.
     fn issue_prefetch(
         &self,
         clock: &mut ThreadClock,
@@ -447,34 +480,98 @@ impl Runtime {
         let inner = &self.inner;
         let costs = &inner.os.config().costs;
         let os_cap = inner.os.config().ra_max_pages;
+        let attempts = inner.config.prefetch_retry_attempts.max(1);
         for &(start, end) in missing {
             let mut cursor = start;
-            while cursor < end {
+            'chunks: while cursor < end {
                 let span = end - cursor;
-                let chunk = if relax {
+                let use_info = visibility && !inner.degraded.load(Ordering::Relaxed);
+                // Blind readahead(2) initiates at most one OS window per
+                // call, so blind chunks are capped at the window size;
+                // only the readahead_info path may carry relaxed chunks.
+                let chunk = if relax && use_info {
                     span.min(max_pages)
                 } else {
                     span.min(os_cap)
                 };
-                if visibility {
-                    let req = RaInfoRequest::prefetch(cursor * PAGE_SIZE, chunk * PAGE_SIZE)
-                        .with_limit_pages(if relax { chunk } else { os_cap });
-                    let info = inner.os.readahead_info(clock, file.prefetch_fd, req);
-                    inner.stats.pages_initiated.add(info.initiated_pages);
-                    // Import the OS's view: mark both already-cached and
-                    // newly initiated pages in the user-level tree.
-                    file.tree
-                        .mark_cached(clock, costs, self.scope(), cursor, cursor + chunk);
-                } else {
-                    // Blind prefetching without cache visibility: plain
-                    // readahead(2) through the contended tree path.
-                    inner.os.readahead(
-                        clock,
-                        file.prefetch_fd,
-                        cursor * PAGE_SIZE,
-                        chunk * PAGE_SIZE,
-                    );
-                    inner.stats.pages_initiated.add(chunk.min(os_cap));
+                let mut attempt: u32 = 0;
+                let mut backoff = inner.config.prefetch_retry_backoff_ns.max(1);
+                loop {
+                    attempt += 1;
+                    let outcome = if use_info {
+                        let req = RaInfoRequest::prefetch(cursor * PAGE_SIZE, chunk * PAGE_SIZE)
+                            .with_limit_pages(if relax { chunk } else { os_cap });
+                        inner
+                            .os
+                            .try_readahead_info(clock, file.prefetch_fd, req)
+                            .map(|info| {
+                                inner.stats.pages_initiated.add(info.initiated_pages);
+                                // Import the OS's view: mark both
+                                // already-cached and newly initiated pages
+                                // in the user-level tree.
+                                file.tree.mark_cached(
+                                    clock,
+                                    costs,
+                                    self.scope(),
+                                    cursor,
+                                    cursor + chunk,
+                                );
+                            })
+                    } else {
+                        // Blind prefetching without cache visibility:
+                        // plain readahead(2) through the contended tree
+                        // path. Counts only pages the OS actually
+                        // initiated (cached pages are deduplicated).
+                        inner
+                            .os
+                            .try_readahead(
+                                clock,
+                                file.prefetch_fd,
+                                cursor * PAGE_SIZE,
+                                chunk * PAGE_SIZE,
+                            )
+                            .map(|initiated| inner.stats.pages_initiated.add(initiated))
+                    };
+                    match outcome {
+                        Ok(()) => break,
+                        Err(IoError::Unsupported) if use_info => {
+                            if !inner.degraded.swap(true, Ordering::Relaxed) {
+                                inner.trace.emit(
+                                    clock.now(),
+                                    TraceEventKind::VisibilityDowngraded { ino: file.ino },
+                                );
+                            }
+                            // Same cursor, recomputed as a blind chunk.
+                            continue 'chunks;
+                        }
+                        Err(_) => {
+                            if attempt >= attempts {
+                                inner.stats.prefetch_give_ups.incr();
+                                inner.stats.pages_abandoned.add(chunk);
+                                inner.trace.emit(
+                                    clock.now(),
+                                    TraceEventKind::PrefetchAbandoned {
+                                        ino: file.ino,
+                                        start_page: cursor,
+                                        pages: chunk,
+                                    },
+                                );
+                                break;
+                            }
+                            inner.stats.prefetch_retries.incr();
+                            inner.trace.emit(
+                                clock.now(),
+                                TraceEventKind::PrefetchRetry {
+                                    ino: file.ino,
+                                    start_page: cursor,
+                                    pages: chunk,
+                                    attempt,
+                                },
+                            );
+                            clock.advance(backoff);
+                            backoff = backoff.saturating_mul(2);
+                        }
+                    }
                 }
                 cursor += chunk;
             }
@@ -497,7 +594,7 @@ impl Runtime {
         // Bound the candidate scan to once per watcher interval.
         let now = clock.now();
         let last = inner.last_evict_scan_ns.load(Ordering::Relaxed);
-        let interval = simclock::NS_PER_MS;
+        let interval = inner.config.evict_scan_interval_ns;
         if now < last.saturating_add(interval)
             || inner
                 .last_evict_scan_ns
@@ -624,6 +721,48 @@ impl CpFile {
         buf
     }
 
+    /// Fallible read, timing only: like [`CpFile::read_charge`] but the
+    /// demand fill goes through the fallible OS surface, so an injected
+    /// transient device error surfaces to the workload instead of being
+    /// absorbed. Pages the fill completed before the fault stay cached —
+    /// a retry reads only what is still missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the device fault plan injects an EIO
+    /// into a demand-class read.
+    pub fn try_read_charge(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, IoError> {
+        self.intercept_read_impl(clock, offset, len, false, true)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Fallible read returning content (see [`CpFile::try_read_charge`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the device fault plan injects an EIO
+    /// into a demand-class read.
+    pub fn try_read(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, IoError> {
+        let outcome = self.try_read_charge(clock, offset, len)?;
+        let mut buf = vec![0u8; outcome.bytes as usize];
+        if outcome.bytes > 0 {
+            self.runtime
+                .os()
+                .fetch_content(self.file.ino, offset, &mut buf);
+        }
+        Ok(buf)
+    }
+
     fn intercept_read(
         &self,
         clock: &mut ThreadClock,
@@ -631,6 +770,22 @@ impl CpFile {
         len: u64,
         is_write: bool,
     ) -> (ReadOutcome, u64) {
+        match self.intercept_read_impl(clock, offset, len, is_write, false) {
+            Ok(result) => result,
+            // The infallible OS paths never fail (they do not consult the
+            // fault plan's EIO schedule).
+            Err(_) => unreachable!("infallible read path returned an error"),
+        }
+    }
+
+    fn intercept_read_impl(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+        is_write: bool,
+        fallible: bool,
+    ) -> Result<(ReadOutcome, u64), IoError> {
         let runtime = &self.runtime;
         let inner = &runtime.inner;
         let features = inner.features;
@@ -645,19 +800,24 @@ impl CpFile {
         }
 
         if !features.intercepting() {
+            let p0 = offset / PAGE_SIZE;
+            let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
             let outcome = if is_write {
                 let written = inner.os.write_charge(clock, self.fd, offset, len);
                 ReadOutcome {
                     bytes: written,
                     ..ReadOutcome::default()
                 }
+            } else if fallible {
+                match inner.os.try_read_charge(clock, self.fd, offset, len) {
+                    Ok(outcome) => outcome,
+                    Err(err) => return Err(self.note_read_error(clock, err, p0, p1 - p0, tracing)),
+                }
             } else {
                 inner.os.read_charge(clock, self.fd, offset, len)
             };
-            let p0 = offset / PAGE_SIZE;
-            let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
             self.finish_io(clock, &outcome, is_write, entry_ns, tracing, (p0, p1 - p0));
-            return (outcome, 0);
+            return Ok((outcome, 0));
         }
 
         let costs = &inner.os.config().costs;
@@ -742,6 +902,19 @@ impl CpFile {
                 bytes: written,
                 ..ReadOutcome::default()
             }
+        } else if fallible {
+            match inner.os.try_read_charge(clock, self.fd, offset, len) {
+                Ok(outcome) => outcome,
+                Err(err) => {
+                    // Pages the fill completed stay cached OS-side; the
+                    // user-level view is left unmarked, so a retry
+                    // re-checks honestly and reads only what is missing.
+                    self.file
+                        .last_access_ns
+                        .store(clock.now(), Ordering::Relaxed);
+                    return Err(self.note_read_error(clock, err, p0, pages, tracing));
+                }
+            }
         } else {
             inner.os.read_charge(clock, self.fd, offset, len)
         };
@@ -755,12 +928,14 @@ impl CpFile {
             let expected_miss = pages - claimed;
             if outcome.miss_pages > expected_miss {
                 let unexpected = outcome.miss_pages - expected_miss;
+                inner.stats.stale_pages_observed.add(unexpected);
                 let total = self
                     .file
                     .stale_pages
                     .fetch_add(unexpected, Ordering::Relaxed)
                     + unexpected;
                 if total >= STALE_RESYNC_PAGES {
+                    inner.stats.stale_resyncs.incr();
                     self.file.stale_pages.store(0, Ordering::Relaxed);
                     self.file.tree.clear(clock, costs, runtime.scope());
                 }
@@ -853,7 +1028,32 @@ impl CpFile {
         }
 
         self.finish_io(clock, &outcome, is_write, entry_ns, tracing, (p0, pages));
-        (outcome, pages)
+        Ok((outcome, pages))
+    }
+
+    /// Error exit hook for the fallible read path: counts the surfaced
+    /// error and emits the `read-error` trace event.
+    fn note_read_error(
+        &self,
+        clock: &mut ThreadClock,
+        err: IoError,
+        start_page: u64,
+        pages: u64,
+        tracing: bool,
+    ) -> IoError {
+        let inner = &self.runtime.inner;
+        inner.stats.read_errors.incr();
+        if tracing {
+            inner.trace.emit(
+                clock.now(),
+                TraceEventKind::ReadError {
+                    ino: self.file.ino,
+                    start_page,
+                    pages,
+                },
+            );
+        }
+        err
     }
 
     /// Shared exit hook: records the end-to-end latency into the

@@ -25,6 +25,21 @@ pub struct LibStats {
     pub pages_evicted: Counter,
     /// fincore polls issued (FincoreApp mode).
     pub fincore_polls: Counter,
+    /// Worker-side prefetch attempts retried after a transient device
+    /// error.
+    pub prefetch_retries: Counter,
+    /// Prefetch requests abandoned after exhausting the retry budget.
+    pub prefetch_give_ups: Counter,
+    /// Pages those abandoned requests covered (left unmarked in the
+    /// user-level view, so later reads still demand-fetch them).
+    pub pages_abandoned: Counter,
+    /// Demand-read errors surfaced to the workload through the shim.
+    pub read_errors: Counter,
+    /// Times the stale-view watchdog dropped a file's range tree after
+    /// observing OS-side reclaim.
+    pub stale_resyncs: Counter,
+    /// Stale pages (claimed cached, found evicted) the watchdog observed.
+    pub stale_pages_observed: Counter,
 }
 
 impl LibStats {

@@ -53,6 +53,25 @@ pub struct RuntimeReport {
     pub lib_lock_wait_ns: u64,
     /// Prefetch-quality tallies (timely / late / wasted pages).
     pub prefetch_quality: PrefetchQuality,
+    /// Worker prefetch attempts retried after a transient device error.
+    pub prefetch_retries: u64,
+    /// Prefetch requests abandoned after exhausting the retry budget.
+    pub prefetch_give_ups: u64,
+    /// Pages abandoned prefetches left to demand fetching.
+    pub pages_abandoned: u64,
+    /// Demand-read errors surfaced to the workload through the shim.
+    pub read_errors: u64,
+    /// Stale-view resyncs (range tree dropped after observed OS reclaim).
+    pub stale_resyncs: u64,
+    /// `readahead_info` attempts rejected by a stock kernel.
+    pub ra_info_unsupported: u64,
+    /// Whether the runtime permanently downgraded visibility prefetch to
+    /// blind `readahead(2)`.
+    pub degraded_to_blind: bool,
+    /// Transient EIOs the device's fault plan injected into reads.
+    pub device_read_faults: u64,
+    /// Device reads that landed inside an injected latency-spike window.
+    pub device_latency_spikes: u64,
     /// Trace events dropped by the bounded ring (0 when tracing is off).
     pub trace_events_dropped: u64,
     /// Read latency, reads served entirely from ready cache.
@@ -100,6 +119,15 @@ impl RuntimeReport {
             os_lock_wait_ns: os.total_lock_wait_ns(),
             lib_lock_wait_ns: runtime.lib_lock_wait_ns(),
             prefetch_quality: os.prefetch_quality(),
+            prefetch_retries: stats.prefetch_retries.get(),
+            prefetch_give_ups: stats.prefetch_give_ups.get(),
+            pages_abandoned: stats.pages_abandoned.get(),
+            read_errors: stats.read_errors.get(),
+            stale_resyncs: stats.stale_resyncs.get(),
+            ra_info_unsupported: os.stats().ra_info_unsupported.get(),
+            degraded_to_blind: runtime.degraded_to_blind(),
+            device_read_faults: os.device().stats().injected_read_faults.get(),
+            device_latency_spikes: os.device().stats().latency_spike_requests.get(),
             trace_events_dropped: runtime.trace().dropped(),
             read_cache_hit: metrics.read_cache_hit_ns.snapshot(),
             read_prefetch_hit: metrics.read_prefetch_hit_ns.snapshot(),
@@ -163,6 +191,25 @@ impl RuntimeReport {
                 .lib_lock_wait_ns
                 .saturating_sub(earlier.lib_lock_wait_ns),
             prefetch_quality: self.prefetch_quality.delta(earlier.prefetch_quality),
+            prefetch_retries: self
+                .prefetch_retries
+                .saturating_sub(earlier.prefetch_retries),
+            prefetch_give_ups: self
+                .prefetch_give_ups
+                .saturating_sub(earlier.prefetch_give_ups),
+            pages_abandoned: self.pages_abandoned.saturating_sub(earlier.pages_abandoned),
+            read_errors: self.read_errors.saturating_sub(earlier.read_errors),
+            stale_resyncs: self.stale_resyncs.saturating_sub(earlier.stale_resyncs),
+            ra_info_unsupported: self
+                .ra_info_unsupported
+                .saturating_sub(earlier.ra_info_unsupported),
+            degraded_to_blind: self.degraded_to_blind,
+            device_read_faults: self
+                .device_read_faults
+                .saturating_sub(earlier.device_read_faults),
+            device_latency_spikes: self
+                .device_latency_spikes
+                .saturating_sub(earlier.device_latency_spikes),
             trace_events_dropped: self
                 .trace_events_dropped
                 .saturating_sub(earlier.trace_events_dropped),
@@ -204,6 +251,22 @@ impl RuntimeReport {
         push_field(&mut out, "os_lock_wait_ns", self.os_lock_wait_ns);
         push_field(&mut out, "lib_lock_wait_ns", self.lib_lock_wait_ns);
         push_field(&mut out, "trace_events_dropped", self.trace_events_dropped);
+        push_field(&mut out, "prefetch_retries", self.prefetch_retries);
+        push_field(&mut out, "prefetch_give_ups", self.prefetch_give_ups);
+        push_field(&mut out, "pages_abandoned", self.pages_abandoned);
+        push_field(&mut out, "read_errors", self.read_errors);
+        push_field(&mut out, "stale_resyncs", self.stale_resyncs);
+        push_field(&mut out, "ra_info_unsupported", self.ra_info_unsupported);
+        push_field(&mut out, "device_read_faults", self.device_read_faults);
+        push_field(
+            &mut out,
+            "device_latency_spikes",
+            self.device_latency_spikes,
+        );
+        out.push_str(&format!(
+            "\"degraded_to_blind\":{},",
+            self.degraded_to_blind
+        ));
         out.push_str(&format!("\"hit_ratio\":{:.6}", self.hit_ratio));
         out.push_str("},");
         out.push_str("\"prefetch_quality\":{");
@@ -319,6 +382,21 @@ impl fmt::Display for RuntimeReport {
             self.os_lock_wait_ns / 1_000,
             self.lib_lock_wait_ns / 1_000
         )?;
+        writeln!(
+            f,
+            "faults     : {} injected EIOs, {} retries, {} give-ups ({} pages), {} read errors, {} resyncs{}",
+            self.device_read_faults,
+            self.prefetch_retries,
+            self.prefetch_give_ups,
+            self.pages_abandoned,
+            self.read_errors,
+            self.stale_resyncs,
+            if self.degraded_to_blind {
+                " [degraded to blind readahead]"
+            } else {
+                ""
+            }
+        )?;
         writeln!(f, "latency    :")?;
         for (name, snap) in [
             ("read/cache-hit", &self.read_cache_hit),
@@ -385,6 +463,7 @@ mod tests {
             "eviction",
             "device",
             "lock waits",
+            "faults",
             "latency",
         ] {
             assert!(rendered.contains(section), "missing section {section}");

@@ -164,6 +164,43 @@ pub enum TraceEventKind {
         /// Pages it freed.
         freed_pages: u64,
     },
+    /// A worker's prefetch attempt hit a transient device error and will
+    /// be retried after backoff.
+    PrefetchRetry {
+        /// Target file.
+        ino: InodeId,
+        /// First page of the failed attempt.
+        start_page: u64,
+        /// Pages the attempt covered.
+        pages: u64,
+        /// Attempt number that failed (1-based).
+        attempt: u32,
+    },
+    /// A prefetch request exhausted its retry budget; the range stays
+    /// unmarked and later reads demand-fetch it.
+    PrefetchAbandoned {
+        /// Target file.
+        ino: InodeId,
+        /// First page of the abandoned range.
+        start_page: u64,
+        /// Pages abandoned.
+        pages: u64,
+    },
+    /// The kernel rejected `readahead_info`; the runtime permanently
+    /// downgraded visibility prefetch to blind `readahead(2)`.
+    VisibilityDowngraded {
+        /// File whose prefetch triggered the downgrade.
+        ino: InodeId,
+    },
+    /// A demand read surfaced a transient device error to the workload.
+    ReadError {
+        /// File read.
+        ino: InodeId,
+        /// First page of the access.
+        start_page: u64,
+        /// Pages covered.
+        pages: u64,
+    },
 }
 
 impl TraceEventKind {
@@ -180,6 +217,10 @@ impl TraceEventKind {
             TraceEventKind::RaInfoCall { .. } => "ra-info-call",
             TraceEventKind::RaWindowGrow { .. } => "ra-window-grow",
             TraceEventKind::OsReclaim { .. } => "os-reclaim",
+            TraceEventKind::PrefetchRetry { .. } => "prefetch-retry",
+            TraceEventKind::PrefetchAbandoned { .. } => "prefetch-abandoned",
+            TraceEventKind::VisibilityDowngraded { .. } => "visibility-downgraded",
+            TraceEventKind::ReadError { .. } => "read-error",
         }
     }
 }
@@ -286,6 +327,27 @@ impl fmt::Display for TraceEvent {
                 target_pages,
                 freed_pages,
             } => write!(f, "target={target_pages} freed={freed_pages}"),
+            TraceEventKind::PrefetchRetry {
+                ino,
+                start_page,
+                pages,
+                attempt,
+            } => write!(
+                f,
+                "ino={} pages={}+{} attempt={}",
+                ino.0, start_page, pages, attempt
+            ),
+            TraceEventKind::PrefetchAbandoned {
+                ino,
+                start_page,
+                pages,
+            } => write!(f, "ino={} pages={}+{}", ino.0, start_page, pages),
+            TraceEventKind::VisibilityDowngraded { ino } => write!(f, "ino={}", ino.0),
+            TraceEventKind::ReadError {
+                ino,
+                start_page,
+                pages,
+            } => write!(f, "ino={} pages={}+{}", ino.0, start_page, pages),
         }
     }
 }

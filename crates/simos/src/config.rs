@@ -26,6 +26,12 @@ pub struct OsConfig {
     /// a global oldest-word scan, reclaim drains the coldest words of the
     /// most-resident files first, bounding the scan to few inodes.
     pub per_inode_lru: bool,
+    /// Whether this kernel implements the `readahead_info` syscall. When
+    /// `false` (a stock kernel without CROSS-OS), [`crate::Os::try_readahead_info`]
+    /// returns [`crate::IoError::Unsupported`] and CROSS-LIB must degrade
+    /// to blind `readahead(2)`. The infallible `readahead_info` ignores
+    /// this flag.
+    pub readahead_info_supported: bool,
     /// Software operation costs.
     pub costs: CostModel,
 }
@@ -51,6 +57,7 @@ impl Default for OsConfig {
             fault_around_pages: 16,
             inactive_after_ns: 30 * NS_PER_SEC,
             per_inode_lru: false,
+            readahead_info_supported: true,
             costs: CostModel::default(),
         }
     }

@@ -19,6 +19,7 @@ use simclock::ThreadClock;
 use simstore::IoPriority;
 
 use crate::cache::PAGES_PER_WORD;
+use crate::error::IoError;
 use crate::os::{Fd, Os, PAGE_SIZE};
 
 /// Request structure for [`Os::readahead_info`] — the `info` parameter of
@@ -147,6 +148,50 @@ impl Os {
     /// # Ok::<(), simos::FsError>(())
     /// ```
     pub fn readahead_info(&self, clock: &mut ThreadClock, fd: Fd, req: RaInfoRequest) -> RaInfo {
+        match self.readahead_info_impl(clock, fd, req, false) {
+            Ok(info) => info,
+            Err(_) => unreachable!("infallible readahead_info cannot fault"),
+        }
+    }
+
+    /// Fallible variant of [`Os::readahead_info`].
+    ///
+    /// Two failure modes, matching the degradation ladder CROSS-LIB needs:
+    ///
+    /// * **`Unsupported`** — the kernel was built without CROSS-OS
+    ///   ([`crate::OsConfig::readahead_info_supported`] is `false`, i.e. a
+    ///   stock kernel). The call charges one syscall crossing (the failed
+    ///   `ENOSYS` probe) and fails permanently; callers should latch onto
+    ///   blind `readahead(2)`.
+    /// * **`Io`** — the fault plan injected a transient EIO into one of
+    ///   the prefetch-class device reads. All-or-nothing: nothing is
+    ///   inserted or published, so a retry re-covers the whole range.
+    ///
+    /// # Errors
+    ///
+    /// See above; [`IoError::Unsupported`] or [`IoError::Io`].
+    pub fn try_readahead_info(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        req: RaInfoRequest,
+    ) -> Result<RaInfo, IoError> {
+        if !self.config().readahead_info_supported {
+            clock.advance(self.config().costs.syscall_ns);
+            self.stats().syscalls.incr();
+            self.stats().ra_info_unsupported.incr();
+            return Err(IoError::Unsupported);
+        }
+        self.readahead_info_impl(clock, fd, req, true)
+    }
+
+    fn readahead_info_impl(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        req: RaInfoRequest,
+        fallible: bool,
+    ) -> Result<RaInfo, IoError> {
         let costs = &self.config().costs;
         clock.advance(costs.syscall_ns);
         self.stats().syscalls.incr();
@@ -203,8 +248,22 @@ impl Os {
                     let upto = (cursor + chunk_pages).min(e);
                     let before = io_clock.now();
                     for run in self.fs().map_blocks(entry.ino, cursor, upto - cursor) {
-                        self.device()
-                            .charge_read(&mut io_clock, run.blocks, IoPriority::Prefetch);
+                        if fallible {
+                            // All-or-nothing: nothing has been inserted or
+                            // published yet, so propagating here leaves the
+                            // bitmap and tree exactly as before the call.
+                            self.device().try_charge_read(
+                                &mut io_clock,
+                                run.blocks,
+                                IoPriority::Prefetch,
+                            )?;
+                        } else {
+                            self.device().charge_read(
+                                &mut io_clock,
+                                run.blocks,
+                                IoPriority::Prefetch,
+                            );
+                        }
                     }
                     push_interpolated_ready(&mut chunk_ready, cursor, upto, before, io_clock.now());
                     cursor = upto;
@@ -267,7 +326,7 @@ impl Os {
         }
 
         let state = cache.state.read();
-        RaInfo {
+        Ok(RaInfo {
             bitmap,
             window_start,
             cached_pages,
@@ -277,7 +336,7 @@ impl Os {
             free_pages: self.mem().free_pages(),
             file_hits: cache.hits.get(),
             file_misses: cache.misses.get(),
-        }
+        })
     }
 }
 
@@ -496,5 +555,70 @@ mod tests {
         let (os, fd, mut clock) = os_with_file(64 * 1024); // 16 pages
         let info = os.readahead_info(&mut clock, fd, RaInfoRequest::prefetch(0, u64::MAX / 4));
         assert_eq!(info.initiated_pages, 16);
+    }
+
+    #[test]
+    fn try_variant_matches_infallible_without_faults() {
+        let (os, fd, mut clock) = os_with_file(4 << 20);
+        let info = os
+            .try_readahead_info(
+                &mut clock,
+                fd,
+                RaInfoRequest::prefetch(0, 1 << 20).with_limit_pages(256),
+            )
+            .unwrap();
+        assert_eq!(info.initiated_pages, 256);
+    }
+
+    #[test]
+    fn unsupported_kernel_rejects_try_readahead_info() {
+        let mut config = OsConfig::with_memory_mb(64);
+        config.readahead_info_supported = false;
+        let os = Os::new(
+            config,
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 1 << 20).unwrap();
+        let err = os
+            .try_readahead_info(&mut clock, fd, RaInfoRequest::prefetch(0, 1 << 20))
+            .unwrap_err();
+        assert_eq!(err, IoError::Unsupported);
+        assert_eq!(os.stats().ra_info_unsupported.get(), 1);
+        // Nothing was scheduled and no device I/O happened.
+        assert_eq!(os.device().stats().read_bytes.get(), 0);
+        // The infallible entry point still works (flag only gates try_*).
+        let info = os.readahead_info(&mut clock, fd, RaInfoRequest::prefetch(0, 1 << 20));
+        assert_eq!(info.initiated_pages, 32);
+    }
+
+    #[test]
+    fn injected_prefetch_fault_is_all_or_nothing() {
+        use simstore::FaultPlan;
+        let os = Os::new(
+            OsConfig::with_memory_mb(256),
+            Device::with_fault_plan(
+                DeviceConfig::local_nvme(),
+                FaultPlan::seeded(3).with_prefetch_eio(1.0),
+            ),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 4 << 20).unwrap();
+        let err = os
+            .try_readahead_info(
+                &mut clock,
+                fd,
+                RaInfoRequest::prefetch(0, 1 << 20).with_limit_pages(256),
+            )
+            .unwrap_err();
+        assert_eq!(err, IoError::Io);
+        // Nothing inserted: a later query sees an empty cache.
+        let info = os
+            .try_readahead_info(&mut clock, fd, RaInfoRequest::query(0, 1 << 20))
+            .unwrap();
+        assert_eq!(info.cached_pages, 0);
+        assert_eq!(os.stats().prefetched_pages.get(), 0);
     }
 }

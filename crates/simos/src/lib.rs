@@ -46,6 +46,7 @@
 pub mod cache;
 mod config;
 pub mod crossos;
+mod error;
 mod mmap;
 mod os;
 pub mod readahead;
@@ -56,6 +57,7 @@ pub mod trace;
 pub use cache::PrefetchQuality;
 pub use config::OsConfig;
 pub use crossos::{bitmap_has_page, RaInfo, RaInfoRequest};
+pub use error::IoError;
 pub use mmap::MmapOutcome;
 pub use os::{Advice, Fd, FdEntry, Os, ReadOutcome, PAGE_SIZE};
 pub use stats::OsStats;
@@ -63,4 +65,4 @@ pub use trace::{OsTraceEvent, OsTraceSink};
 
 // Re-exports so downstream crates name one coherent surface.
 pub use simfs::{FileSystem, FsError, FsKind, InodeId};
-pub use simstore::{Device, DeviceConfig, IoPriority};
+pub use simstore::{Device, DeviceConfig, DeviceError, FaultPlan, IoPriority};

@@ -8,6 +8,7 @@ use simfs::{FileSystem, FsError, InodeId};
 use simstore::{Device, IoPriority, BLOCK_SIZE};
 
 use crate::cache::InodeCache;
+use crate::error::IoError;
 use crate::readahead::{RaMode, RaState};
 use crate::reclaim::{select_victims, MemoryManager};
 use crate::stats::OsStats;
@@ -297,9 +298,34 @@ impl Os {
         outcome.bytes
     }
 
+    /// Fallible variant of [`Os::read_at`]: consults the device fault plan
+    /// and surfaces a transient [`IoError::Io`] to the caller. See
+    /// [`Os::try_read_charge`] for the failure semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the fault plan injects an EIO into the
+    /// demand fill.
+    pub fn try_read_at(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<u64, IoError> {
+        let outcome = self.try_read_charge(clock, fd, offset, buf.len() as u64)?;
+        self.fetch_content(
+            self.fd_inode(fd),
+            offset,
+            &mut buf[..outcome.bytes as usize],
+        );
+        Ok(outcome.bytes)
+    }
+
     /// The charging half of the read path: identical timing and cache
     /// behaviour to [`Os::read`], without materializing content. Workloads
-    /// that only measure use this.
+    /// that only measure use this. Never consults the fault plan's EIO
+    /// schedule (see [`IoError`]).
     pub fn read_charge(
         &self,
         clock: &mut ThreadClock,
@@ -307,6 +333,42 @@ impl Os {
         offset: u64,
         len: u64,
     ) -> ReadOutcome {
+        match self.read_charge_impl(clock, fd, offset, len, false) {
+            Ok(outcome) => outcome,
+            Err(_) => unreachable!("infallible read path cannot fault"),
+        }
+    }
+
+    /// Fallible variant of [`Os::read_charge`]. Failure semantics: runs of
+    /// missing pages are demand-filled front to back; on an injected fault
+    /// the runs already filled stay cached (and are inserted into the
+    /// tree), the faulted run and everything after it stay absent, and the
+    /// error surfaces to the caller — a retry re-reads only what is still
+    /// missing. The heuristic-readahead tail is best-effort: its prefetch
+    /// faults are swallowed, as kernel readahead never fails a `read(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the fault plan injects an EIO into the
+    /// demand fill.
+    pub fn try_read_charge(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, IoError> {
+        self.read_charge_impl(clock, fd, offset, len, true)
+    }
+
+    fn read_charge_impl(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+        fallible: bool,
+    ) -> Result<ReadOutcome, IoError> {
         let costs = &self.config.costs;
         clock.advance(costs.syscall_ns);
         self.stats.syscalls.incr();
@@ -317,7 +379,7 @@ impl Os {
         let size = self.fs.size(entry.ino);
         let len = len.min(size.saturating_sub(offset));
         if len == 0 {
-            return ReadOutcome::default();
+            return Ok(ReadOutcome::default());
         }
         let p0 = offset / PAGE_SIZE;
         let p1 = (offset + len).div_ceil(PAGE_SIZE);
@@ -373,45 +435,91 @@ impl Os {
             let wait = ready_at.saturating_sub(clock.now());
             if wait > bypass_threshold {
                 let t0 = clock.now();
+                let mut bypass_ok = true;
                 for run in self.fs.map_blocks(entry.ino, p0, pages) {
-                    self.device
-                        .charge_read(clock, run.blocks, IoPriority::Blocking);
+                    if fallible {
+                        if self
+                            .device
+                            .try_charge_read(clock, run.blocks, IoPriority::Blocking)
+                            .is_err()
+                        {
+                            bypass_ok = false;
+                            break;
+                        }
+                    } else {
+                        self.device
+                            .charge_read(clock, run.blocks, IoPriority::Blocking);
+                    }
                 }
-                let now = clock.now();
-                cache.state.write().lower_ready(p0, p1, now);
-                self.stats.demand_bypass_pages.add(present);
-                self.stats.demand_fill_ns.add(now - t0);
+                if bypass_ok {
+                    let now = clock.now();
+                    cache.state.write().lower_ready(p0, p1, now);
+                    self.stats.demand_bypass_pages.add(present);
+                    self.stats.demand_fill_ns.add(now - t0);
+                } else {
+                    // The overtake attempt hit a transient fault; the queued
+                    // prefetch stream is still coming, so fall back to
+                    // waiting for it rather than failing the read.
+                    self.stats
+                        .ready_wait_ns
+                        .add(ready_at.saturating_sub(clock.now()));
+                    clock.advance_to(ready_at);
+                }
             } else {
                 self.stats.ready_wait_ns.add(wait);
                 clock.advance_to(ready_at);
             }
         }
 
-        // Demand-fill the misses synchronously.
+        // Demand-fill the misses synchronously. In fallible mode a fault
+        // stops the fill: runs already charged are inserted (they really
+        // were read), the rest stay absent, and the error surfaces after
+        // the tree is made consistent.
         if !missing.is_empty() {
             let t0 = clock.now();
             let mut inserted = 0;
-            for &(mstart, mend) in &missing {
+            let mut filled: Vec<(u64, u64)> = Vec::new();
+            let mut fault = None;
+            'fill: for &(mstart, mend) in &missing {
                 for run in self.fs.map_blocks(entry.ino, mstart, mend - mstart) {
-                    self.device
-                        .charge_read(clock, run.blocks, IoPriority::Blocking);
+                    if fallible {
+                        if self
+                            .device
+                            .try_charge_read(clock, run.blocks, IoPriority::Blocking)
+                            .is_err()
+                        {
+                            fault = Some(IoError::Io);
+                            break 'fill;
+                        }
+                    } else {
+                        self.device
+                            .charge_read(clock, run.blocks, IoPriority::Blocking);
+                    }
                 }
                 inserted += mend - mstart;
+                filled.push((mstart, mend));
             }
             self.stats.demand_fill_ns.add(clock.now() - t0);
-            let hold = costs.tree_insert_per_page_ns * inserted + costs.page_alloc_ns * inserted;
-            let access = cache.tree_lock.write(clock.now(), hold);
-            clock.advance_to(access.end_ns);
-            let now = clock.now();
-            let mut newly = 0;
-            {
-                let mut state = cache.state.write();
-                for &(mstart, mend) in &missing {
-                    newly += state.insert_range(mstart, mend, now, 0);
+            if inserted > 0 {
+                let hold =
+                    costs.tree_insert_per_page_ns * inserted + costs.page_alloc_ns * inserted;
+                let access = cache.tree_lock.write(clock.now(), hold);
+                clock.advance_to(access.end_ns);
+                let now = clock.now();
+                let mut newly = 0;
+                {
+                    let mut state = cache.state.write();
+                    for &(mstart, mend) in &filled {
+                        newly += state.insert_range(mstart, mend, now, 0);
+                    }
+                }
+                if self.mem.note_inserted(newly) {
+                    self.reclaim(clock);
                 }
             }
-            if self.mem.note_inserted(newly) {
-                self.reclaim(clock);
+            if let Some(err) = fault {
+                self.stats.demand_read_errors.incr();
+                return Err(err);
             }
         } else {
             let now = clock.now();
@@ -435,16 +543,22 @@ impl Os {
                     },
                 );
             }
-            self.prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
+            if fallible {
+                // Kernel readahead is best-effort: a fault aborts the
+                // window silently, never the read that triggered it.
+                let _ = self.try_prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
+            } else {
+                self.prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
+            }
         }
 
-        ReadOutcome {
+        Ok(ReadOutcome {
             pages,
             hit_pages: present,
             miss_pages: pages - present,
             prefetch_hit_pages: prefetch_hit,
             bytes: len,
-        }
+        })
     }
 
     /// Baseline prefetch: inserts `[start, start+count)` through the cache
@@ -458,15 +572,49 @@ impl Os {
         start: u64,
         count: u64,
     ) -> u64 {
+        match self.prefetch_via_tree_impl(clock, ino, cache, start, count, false) {
+            Ok(newly) => newly,
+            Err(_) => unreachable!("infallible prefetch path cannot fault"),
+        }
+    }
+
+    /// Fallible baseline prefetch, all-or-nothing: on an injected fault
+    /// nothing is inserted or published — a retry re-covers the whole
+    /// range — and the error surfaces to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the fault plan injects an EIO into the
+    /// prefetch-class device reads.
+    pub(crate) fn try_prefetch_via_tree(
+        &self,
+        clock: &mut ThreadClock,
+        ino: InodeId,
+        cache: &InodeCache,
+        start: u64,
+        count: u64,
+    ) -> Result<u64, IoError> {
+        self.prefetch_via_tree_impl(clock, ino, cache, start, count, true)
+    }
+
+    fn prefetch_via_tree_impl(
+        &self,
+        clock: &mut ThreadClock,
+        ino: InodeId,
+        cache: &InodeCache,
+        start: u64,
+        count: u64,
+        fallible: bool,
+    ) -> Result<u64, IoError> {
         let costs = &self.config.costs;
         let file_pages = self.fs.size(ino).div_ceil(PAGE_SIZE);
         let end = (start + count).min(file_pages);
         if start >= end {
-            return 0;
+            return Ok(0);
         }
         let missing = cache.state.read().missing_runs(start, end);
         if missing.is_empty() {
-            return 0;
+            return Ok(0);
         }
         let total: u64 = missing.iter().map(|&(s, e)| e - s).sum();
 
@@ -486,8 +634,16 @@ impl Os {
                 let upto = (cursor + chunk_pages).min(mend);
                 let before = io_clock.now();
                 for run in self.fs.map_blocks(ino, cursor, upto - cursor) {
-                    self.device
-                        .charge_read(&mut io_clock, run.blocks, IoPriority::Prefetch);
+                    if fallible {
+                        self.device.try_charge_read(
+                            &mut io_clock,
+                            run.blocks,
+                            IoPriority::Prefetch,
+                        )?;
+                    } else {
+                        self.device
+                            .charge_read(&mut io_clock, run.blocks, IoPriority::Prefetch);
+                    }
                 }
                 crate::crossos::push_interpolated_ready(
                     &mut chunk_ready,
@@ -512,7 +668,7 @@ impl Os {
         if self.mem.note_inserted(newly) {
             self.reclaim(clock);
         }
-        newly
+        Ok(newly)
     }
 
     /// Fetches content bytes from the backing store without a time charge —
@@ -661,6 +817,35 @@ impl Os {
         let capped = pages.min(cap);
         self.prefetch_via_tree(clock, entry.ino, &cache, start, capped);
         len
+    }
+
+    /// Fallible `readahead(2)` variant that also fixes its reporting: the
+    /// return value is the number of pages *actually initiated* (after the
+    /// silent cap and after skipping already-cached pages), not the
+    /// requested length. All-or-nothing on an injected fault — nothing is
+    /// inserted, so a retry re-covers the whole range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the fault plan injects an EIO into the
+    /// prefetch-class device reads.
+    pub fn try_readahead(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, IoError> {
+        clock.advance(self.config.costs.syscall_ns);
+        self.stats.syscalls.incr();
+        self.stats.ra_calls.incr();
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let start = offset / PAGE_SIZE;
+        let pages = len.div_ceil(PAGE_SIZE);
+        let cap = entry.ra.lock().effective_max();
+        let capped = pages.min(cap);
+        self.try_prefetch_via_tree(clock, entry.ino, &cache, start, capped)
     }
 
     /// `posix_fadvise(2)`.

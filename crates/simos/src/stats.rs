@@ -25,6 +25,11 @@ pub struct OsStats {
     pub ra_calls: Counter,
     /// `readahead_info` invocations (CROSS-OS).
     pub ra_info_calls: Counter,
+    /// `readahead_info` attempts rejected because the kernel lacks the
+    /// syscall (`readahead_info_supported = false`).
+    pub ra_info_unsupported: Counter,
+    /// Demand reads that surfaced a transient device error to the caller.
+    pub demand_read_errors: Counter,
     /// `fincore` invocations.
     pub fincore_calls: Counter,
     /// Pages dropped via `fadvise(DONTNEED)`.

@@ -284,3 +284,107 @@ fn prefetch_wait_is_charged_when_reading_in_flight_pages() {
     assert!(front < 2_000_000, "front of stream should be near-ready");
     let _ = bypass_before;
 }
+
+// ----- fault injection & fallible variants ---------------------------------
+
+mod faults {
+    use super::*;
+    use simos::{FaultPlan, IoError};
+
+    fn boot_with_plan(memory_mb: u64, plan: FaultPlan) -> Arc<Os> {
+        Os::new(
+            OsConfig::with_memory_mb(memory_mb),
+            Device::with_fault_plan(DeviceConfig::local_nvme(), plan),
+            FileSystem::new(FsKind::Ext4Like),
+        )
+    }
+
+    #[test]
+    fn try_read_matches_infallible_without_plan() {
+        let os = boot(256);
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 1 << 20).unwrap();
+        let outcome = os.try_read_charge(&mut clock, fd, 0, 64 * 1024).unwrap();
+        assert_eq!(outcome.miss_pages, 16);
+        assert_eq!(os.stats().demand_read_errors.get(), 0);
+    }
+
+    #[test]
+    fn demand_fault_surfaces_and_retry_completes() {
+        // ~40% of demand requests fail; prefetch untouched. Retrying the
+        // read must eventually succeed, filling only what is still missing.
+        let os = boot_with_plan(256, FaultPlan::seeded(11).with_demand_eio(0.4));
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 8 << 20).unwrap();
+        let mut errors = 0;
+        for i in 0..32u64 {
+            let offset = i * 256 * 1024;
+            let mut attempts = 0;
+            loop {
+                match os.try_read_charge(&mut clock, fd, offset, 256 * 1024) {
+                    Ok(outcome) => {
+                        assert_eq!(outcome.pages, 64);
+                        break;
+                    }
+                    Err(IoError::Io) => {
+                        errors += 1;
+                        attempts += 1;
+                        assert!(attempts < 200, "retries should converge");
+                    }
+                    Err(other) => panic!("unexpected error {other:?}"),
+                }
+            }
+        }
+        assert!(errors > 0, "a 40% EIO rate must surface at least once");
+        assert_eq!(os.stats().demand_read_errors.get(), errors);
+        // Once all retries succeeded the whole range is cached.
+        let outcome = os.try_read_charge(&mut clock, fd, 0, 8 << 20).unwrap();
+        assert_eq!(outcome.miss_pages, 0);
+    }
+
+    #[test]
+    fn partial_fill_keeps_completed_runs_cached() {
+        // Every demand request faults: the first run charged fails, so
+        // nothing is cached and the error surfaces.
+        let os = boot_with_plan(256, FaultPlan::seeded(0).with_demand_eio(1.0));
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 1 << 20).unwrap();
+        let err = os
+            .try_read_charge(&mut clock, fd, 0, 64 * 1024)
+            .unwrap_err();
+        assert_eq!(err, IoError::Io);
+        let cache = os.cache(os.fd_inode(fd));
+        assert_eq!(cache.state.read().present_in(0, 16), 0);
+    }
+
+    #[test]
+    fn try_readahead_reports_actually_initiated_pages() {
+        let os = boot(512);
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/big", 16 << 20).unwrap();
+        // 4 MiB requested; the OS cap (32 pages) is what actually starts.
+        let initiated = os.try_readahead(&mut clock, fd, 0, 4 << 20).unwrap();
+        assert_eq!(initiated, os.config().ra_max_pages);
+        // Second call over the now-cached window initiates nothing.
+        let again = os.try_readahead(&mut clock, fd, 0, 128 * 1024).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn prefetch_fault_never_fails_the_read() {
+        // Prefetch-class EIO at 100%: heuristic readahead dies silently,
+        // demand reads keep succeeding.
+        let os = boot_with_plan(512, FaultPlan::seeded(5).with_prefetch_eio(1.0));
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/seq", 8 << 20).unwrap();
+        let chunk = 16 * 1024u64;
+        for i in 0..256u64 {
+            let outcome = os
+                .try_read_charge(&mut clock, fd, i * chunk, chunk)
+                .unwrap();
+            assert_eq!(outcome.pages, 4);
+        }
+        assert_eq!(os.stats().prefetched_pages.get(), 0);
+        assert!(os.device().stats().injected_read_faults.get() > 0);
+    }
+}

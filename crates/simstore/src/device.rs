@@ -1,8 +1,10 @@
 //! The device model: bandwidth/latency servers plus content.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use simclock::{transfer_ns, Counter, FcfsResource, ThreadClock};
 
-use crate::{DeviceConfig, SparseStore, BLOCK_SIZE};
+use crate::{DeviceConfig, DeviceError, FaultPlan, SparseStore, BLOCK_SIZE};
 
 /// Scheduling class of a device request (§4.7 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -30,6 +32,10 @@ pub struct DeviceStats {
     pub prefetch_requests: Counter,
     /// Prefetch requests that stalled on the congestion window.
     pub prefetch_throttled: Counter,
+    /// Read requests failed with a transient EIO by the fault plan.
+    pub injected_read_faults: Counter,
+    /// Read requests that landed inside a latency-spike window.
+    pub latency_spike_requests: Counter,
 }
 
 /// A simulated block device.
@@ -57,6 +63,13 @@ pub struct Device {
     write_server: FcfsResource,
     store: SparseStore,
     stats: DeviceStats,
+    /// Optional deterministic misbehaviour schedule; `None` and an all-zero
+    /// plan are behaviourally identical (pay-nothing when disabled).
+    faults: Option<FaultPlan>,
+    /// Operation counter feeding the fault plan's per-op draws. Only
+    /// advanced for requests whose traffic class has a nonzero EIO
+    /// probability, so fault-free runs never touch it.
+    fault_ops: AtomicU64,
 }
 
 impl Device {
@@ -74,7 +87,26 @@ impl Device {
             write_server: FcfsResource::new("device-write"),
             store: SparseStore::new(),
             stats: DeviceStats::default(),
+            faults: None,
+            fault_ops: AtomicU64::new(0),
         }
+    }
+
+    /// Creates a device with the given performance model and fault plan.
+    pub fn with_fault_plan(config: DeviceConfig, plan: FaultPlan) -> Self {
+        let mut device = Self::new(config);
+        device.faults = Some(plan);
+        device
+    }
+
+    /// Installs (or replaces) the fault plan on an existing device.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The fault plan in effect, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The performance model in effect.
@@ -110,11 +142,57 @@ impl Device {
             .collect()
     }
 
+    /// Fallible variant of [`Device::charge_read`]: consults the fault plan
+    /// before charging. On an injected fault the request pays its fixed
+    /// round-trip latency (the error still travels the wire) but no
+    /// bandwidth, and nothing is transferred. Retrying draws a fresh
+    /// per-op fault decision. Without a fault plan this is exactly
+    /// `charge_read`.
+    pub fn try_charge_read(
+        &self,
+        clock: &mut ThreadClock,
+        count: u64,
+        priority: IoPriority,
+    ) -> Result<(), DeviceError> {
+        if count > 0 {
+            if let Some(plan) = &self.faults {
+                let p = plan.eio_probability(priority);
+                if p > 0.0 {
+                    let op = self.fault_ops.fetch_add(1, Ordering::Relaxed);
+                    if plan.draw_eio(op, p) {
+                        clock.advance(self.config.read_request_latency_ns());
+                        self.stats.injected_read_faults.incr();
+                        return Err(DeviceError::TransientIo);
+                    }
+                }
+            }
+        }
+        self.charge_read(clock, count, priority);
+        Ok(())
+    }
+
+    /// Extra fixed latency from the fault plan's spike windows at `now`.
+    fn spike_extra(&self, now: u64) -> u64 {
+        let extra = self
+            .faults
+            .as_ref()
+            .map_or(0, |plan| plan.spike_extra_at(now));
+        if extra > 0 {
+            self.stats.latency_spike_requests.incr();
+        }
+        extra
+    }
+
     /// Charges the virtual-time cost of reading `count` contiguous blocks
     /// without materializing content (callers that track presence only).
     pub fn charge_read(&self, clock: &mut ThreadClock, count: u64, priority: IoPriority) {
         let bytes = count * BLOCK_SIZE as u64;
-        let latency = self.config.read_request_latency_ns();
+        let spike = if bytes > 0 {
+            self.spike_extra(clock.now())
+        } else {
+            0
+        };
+        let latency = self.config.read_request_latency_ns() + spike;
 
         if priority == IoPriority::Prefetch {
             self.stats.prefetch_requests.incr();
@@ -331,6 +409,126 @@ mod tests {
         local.charge_read(&mut lc, 1, IoPriority::Blocking);
         remote.charge_read(&mut rc, 1, IoPriority::Blocking);
         assert!(rc.now() > lc.now());
+    }
+
+    #[test]
+    fn try_charge_read_without_plan_matches_charge_read() {
+        let plain = Device::new(DeviceConfig::local_nvme());
+        let fallible = Device::new(DeviceConfig::local_nvme());
+        let mut a = clock();
+        let mut b = clock();
+        plain.charge_read(&mut a, 64, IoPriority::Blocking);
+        fallible
+            .try_charge_read(&mut b, 64, IoPriority::Blocking)
+            .unwrap();
+        assert_eq!(a.now(), b.now());
+        assert_eq!(fallible.stats().injected_read_faults.get(), 0);
+    }
+
+    #[test]
+    fn all_zero_plan_is_bit_identical_to_no_plan() {
+        let plain = Device::new(DeviceConfig::local_nvme());
+        let planned = Device::with_fault_plan(DeviceConfig::local_nvme(), FaultPlan::seeded(42));
+        let mut a = clock();
+        let mut b = clock();
+        for i in 0..32 {
+            let pri = if i % 3 == 0 {
+                IoPriority::Prefetch
+            } else {
+                IoPriority::Blocking
+            };
+            plain.charge_read(&mut a, 1 + i, pri);
+            planned.try_charge_read(&mut b, 1 + i, pri).unwrap();
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(
+            plain.stats().read_requests.get(),
+            planned.stats().read_requests.get()
+        );
+        assert_eq!(planned.stats().latency_spike_requests.get(), 0);
+    }
+
+    #[test]
+    fn certain_eio_fails_every_request_and_charges_latency_only() {
+        let device = Device::with_fault_plan(
+            DeviceConfig::local_nvme(),
+            FaultPlan::seeded(0).with_read_eio(1.0),
+        );
+        let mut c = clock();
+        let err = device
+            .try_charge_read(&mut c, 100, IoPriority::Blocking)
+            .unwrap_err();
+        assert_eq!(err, DeviceError::TransientIo);
+        assert_eq!(c.now(), device.config().read_request_latency_ns());
+        assert_eq!(device.stats().injected_read_faults.get(), 1);
+        assert_eq!(device.stats().read_bytes.get(), 0);
+    }
+
+    #[test]
+    fn prefetch_only_eio_leaves_demand_reads_untouched() {
+        let device = Device::with_fault_plan(
+            DeviceConfig::local_nvme(),
+            FaultPlan::seeded(0).with_prefetch_eio(1.0),
+        );
+        let mut c = clock();
+        device
+            .try_charge_read(&mut c, 8, IoPriority::Blocking)
+            .unwrap();
+        device
+            .try_charge_read(&mut c, 8, IoPriority::Prefetch)
+            .unwrap_err();
+        assert_eq!(device.stats().injected_read_faults.get(), 1);
+    }
+
+    #[test]
+    fn latency_spikes_slow_reads_inside_the_window() {
+        use simclock::NS_PER_MS;
+        // Window covers the whole first millisecond; the clock starts at 0,
+        // so the first read pays the spike and a later one does not.
+        let plan =
+            FaultPlan::seeded(0).with_latency_spikes(100 * NS_PER_MS, NS_PER_MS, 10 * NS_PER_MS);
+        let spiky = Device::with_fault_plan(DeviceConfig::local_nvme(), plan);
+        let calm = Device::new(DeviceConfig::local_nvme());
+        let mut a = clock();
+        let mut b = clock();
+        spiky.charge_read(&mut a, 1, IoPriority::Blocking);
+        calm.charge_read(&mut b, 1, IoPriority::Blocking);
+        assert_eq!(a.now(), b.now() + 10 * NS_PER_MS);
+        assert_eq!(spiky.stats().latency_spike_requests.get(), 1);
+        // Past the window: no extra charge.
+        let before = a.now();
+        spiky.charge_read(&mut a, 1, IoPriority::Blocking);
+        let calm_cost = {
+            let mut c = clock();
+            calm.charge_read(&mut c, 1, IoPriority::Blocking);
+            c.now()
+        };
+        assert!(a.now() - before <= calm_cost + 1);
+        assert_eq!(spiky.stats().latency_spike_requests.get(), 1);
+    }
+
+    #[test]
+    fn fault_sequence_is_reproducible_across_devices() {
+        let mk = || {
+            Device::with_fault_plan(
+                DeviceConfig::local_nvme(),
+                FaultPlan::seeded(1234).with_read_eio(0.4),
+            )
+        };
+        let d1 = mk();
+        let d2 = mk();
+        let mut c1 = clock();
+        let mut c2 = clock();
+        let outcomes1: Vec<bool> = (0..64)
+            .map(|_| d1.try_charge_read(&mut c1, 1, IoPriority::Blocking).is_ok())
+            .collect();
+        let outcomes2: Vec<bool> = (0..64)
+            .map(|_| d2.try_charge_read(&mut c2, 1, IoPriority::Blocking).is_ok())
+            .collect();
+        assert_eq!(outcomes1, outcomes2);
+        assert_eq!(c1.now(), c2.now());
+        assert!(outcomes1.iter().any(|&ok| !ok));
+        assert!(outcomes1.iter().any(|&ok| ok));
     }
 
     #[test]

@@ -34,10 +34,12 @@
 
 mod config;
 mod device;
+mod fault;
 mod store;
 
 pub use config::DeviceConfig;
 pub use device::{Device, DeviceStats, IoPriority};
+pub use fault::{DeviceError, FaultPlan};
 pub use store::SparseStore;
 
 /// Bytes per device block (and per OS page): 4 KiB.
