@@ -65,35 +65,11 @@ impl Features {
 }
 
 impl Mode {
-    /// The feature bundle this mode enables.
+    /// The feature bundle this mode enables (the Table-2 row, defined in
+    /// [`crate::policy`] next to the rest of the mechanism-dispatch
+    /// table).
     pub fn features(self) -> Features {
-        match self {
-            Mode::AppOnly | Mode::OsOnly => Features::passthrough(),
-            Mode::Predict => Features {
-                predict: true,
-                visibility: true,
-                range_tree: true,
-                ..Features::passthrough()
-            },
-            Mode::PredictOpt => Features {
-                predict: true,
-                visibility: true,
-                range_tree: true,
-                relax_limits: true,
-                aggressive: true,
-                ..Features::passthrough()
-            },
-            Mode::FetchAllOpt => Features {
-                visibility: true,
-                relax_limits: true,
-                fetchall: true,
-                ..Features::passthrough()
-            },
-            Mode::FincoreApp => Features {
-                fincore_poll: true,
-                ..Features::passthrough()
-            },
-        }
+        crate::policy::features_for(self)
     }
 
     /// Short label used in bench output tables.
@@ -158,6 +134,19 @@ pub struct RuntimeConfig {
     pub prefetch_retry_attempts: u32,
     /// Initial retry backoff in virtual ns; doubles per attempt.
     pub prefetch_retry_backoff_ns: u64,
+    /// Shards for the per-file state registry (0 = auto: 2× `workers`).
+    /// Shard count never affects simulated timing or telemetry counters —
+    /// only real-lock contention between host threads.
+    pub registry_shards: usize,
+    /// Coalesce adjacent planned prefetch ranges into one submission per
+    /// worker wakeup: missing runs separated by at most one OS readahead
+    /// window are merged before dispatch, trading a few duplicate-checked
+    /// pages for fewer syscalls on the `2^n`-window growth path. Only the
+    /// cache-visibility (`readahead_info`) path may coalesce — the OS
+    /// dedups already-cached gap pages there. Default off: merging
+    /// changes the syscall count and therefore the virtual timeline, so
+    /// it is an opt-in optimisation, not a behaviour-preserving default.
+    pub coalesce_prefetch: bool,
 }
 
 impl RuntimeConfig {
@@ -179,12 +168,23 @@ impl RuntimeConfig {
             fincore_poll_interval: 32,
             prefetch_retry_attempts: 4,
             prefetch_retry_backoff_ns: 100 * simclock::NS_PER_US,
+            registry_shards: 0,
+            coalesce_prefetch: false,
         }
     }
 
     /// Effective feature set.
     pub fn effective_features(&self) -> Features {
         self.features.unwrap_or_else(|| self.mode.features())
+    }
+
+    /// Effective registry shard count (0 resolves to 2× the worker count).
+    pub fn effective_registry_shards(&self) -> usize {
+        if self.registry_shards == 0 {
+            self.workers.max(1) * 2
+        } else {
+            self.registry_shards
+        }
     }
 }
 

@@ -52,8 +52,10 @@
 
 mod config;
 pub mod metrics;
+pub mod policy;
 pub mod predictor;
 pub mod range_tree;
+mod read_path;
 mod runtime;
 mod stats;
 pub mod telemetry;
@@ -61,7 +63,8 @@ pub mod trace;
 pub mod worker;
 
 pub use config::{Features, Mode, RuntimeConfig};
-pub use metrics::{ReadClass, RuntimeMetrics};
+pub use metrics::{PipelineStage, ReadClass, RuntimeMetrics};
+pub use policy::{OpenAction, Policy, PostReadHook};
 pub use predictor::{AccessPattern, Direction, Prediction, Predictor};
 pub use range_tree::{LockScope, RangeTree};
 pub use runtime::{CpFile, LibFile, Runtime};
@@ -72,5 +75,6 @@ pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
 // One coherent import surface for workloads and benches.
 pub use simos::{
     Advice, Device, DeviceConfig, DeviceError, FaultPlan, Fd, FileSystem, FsError, FsKind, InodeId,
-    IoError, MmapOutcome, Os, OsConfig, RaInfo, RaInfoRequest, ReadOutcome, PAGE_SIZE,
+    IoError, MmapOutcome, Os, OsConfig, RaInfo, RaInfoRequest, ReadOutcome, RegistryStats,
+    PAGE_SIZE,
 };

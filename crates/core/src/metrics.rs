@@ -45,6 +45,52 @@ impl ReadClass {
     }
 }
 
+/// The named stages of the staged read pipeline
+/// ([`crate::read_path`]), in execution order. Stage boundaries are the
+/// latency-histogram and trace attach points of the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineStage {
+    /// Entry bookkeeping: counters, page math, intercept routing.
+    Classify,
+    /// Predictor step (pattern classification, window sizing).
+    Predict,
+    /// Prefetch planning and worker dispatch (consumption pacing).
+    PrefetchPlan,
+    /// User-level cache-view probe (the visibility lookup).
+    CacheProbe,
+    /// The demand I/O itself (OS read/write charge).
+    DemandFill,
+    /// Post-I/O accounting: staleness, view update, policy hooks, exit
+    /// histograms.
+    Account,
+}
+
+impl PipelineStage {
+    /// Stable label used in telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::Classify => "classify",
+            PipelineStage::Predict => "predict",
+            PipelineStage::PrefetchPlan => "prefetch_plan",
+            PipelineStage::CacheProbe => "cache_probe",
+            PipelineStage::DemandFill => "demand_fill",
+            PipelineStage::Account => "account",
+        }
+    }
+
+    /// All stages in execution order.
+    pub fn all() -> [PipelineStage; 6] {
+        [
+            PipelineStage::Classify,
+            PipelineStage::Predict,
+            PipelineStage::PrefetchPlan,
+            PipelineStage::CacheProbe,
+            PipelineStage::DemandFill,
+            PipelineStage::Account,
+        ]
+    }
+}
+
 /// Always-on latency distributions maintained by the runtime.
 #[derive(Debug, Default)]
 pub struct RuntimeMetrics {
@@ -66,6 +112,18 @@ pub struct RuntimeMetrics {
     pub lib_lock_wait_ns: Arc<Histogram>,
     /// Eviction scan duration (the `maybe_evict` pass).
     pub evict_scan_ns: Histogram,
+    /// Virtual time spent in the classify stage, per intercepted access.
+    pub stage_classify_ns: Histogram,
+    /// Virtual time spent in the predict stage.
+    pub stage_predict_ns: Histogram,
+    /// Virtual time spent in the prefetch-plan stage.
+    pub stage_prefetch_plan_ns: Histogram,
+    /// Virtual time spent in the cache-probe stage.
+    pub stage_cache_probe_ns: Histogram,
+    /// Virtual time spent in the demand-fill stage.
+    pub stage_demand_fill_ns: Histogram,
+    /// Virtual time spent in the account stage.
+    pub stage_account_ns: Histogram,
 }
 
 impl RuntimeMetrics {
@@ -75,6 +133,18 @@ impl RuntimeMetrics {
             ReadClass::CacheHit => &self.read_cache_hit_ns,
             ReadClass::PrefetchHit => &self.read_prefetch_hit_ns,
             ReadClass::DemandMiss => &self.read_demand_miss_ns,
+        }
+    }
+
+    /// The per-stage latency histogram for `stage`.
+    pub fn stage_hist(&self, stage: PipelineStage) -> &Histogram {
+        match stage {
+            PipelineStage::Classify => &self.stage_classify_ns,
+            PipelineStage::Predict => &self.stage_predict_ns,
+            PipelineStage::PrefetchPlan => &self.stage_prefetch_plan_ns,
+            PipelineStage::CacheProbe => &self.stage_cache_probe_ns,
+            PipelineStage::DemandFill => &self.stage_demand_fill_ns,
+            PipelineStage::Account => &self.stage_account_ns,
         }
     }
 }

@@ -1,19 +1,20 @@
 //! The CROSS-LIB runtime: interception shim, prefetch orchestration,
 //! memory-budget policies.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use simclock::ThreadClock;
+use simos::shard::{RegistryStats, ShardedMap};
 use simos::{
     Advice, Fd, FsError, InodeId, IoError, MmapOutcome, Os, RaInfoRequest, ReadOutcome, PAGE_SIZE,
 };
 
 use crate::config::{Features, Mode, RuntimeConfig};
-use crate::metrics::{ReadClass, RuntimeMetrics};
-use crate::predictor::{AccessPattern, Predictor};
+use crate::metrics::RuntimeMetrics;
+use crate::policy::{OpenAction, Policy};
+use crate::predictor::Predictor;
 use crate::range_tree::{LockScope, RangeTree};
 use crate::stats::LibStats;
 use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
@@ -26,35 +27,28 @@ pub struct LibFile {
     /// The file's inode.
     pub ino: InodeId,
     /// A descriptor the runtime owns for issuing prefetch/advice calls.
-    prefetch_fd: Fd,
+    pub(crate) prefetch_fd: Fd,
     /// User-level cache view with per-node locking.
-    tree: RangeTree,
+    pub(crate) tree: RangeTree,
     /// Virtual time of the most recent application access.
-    last_access_ns: AtomicU64,
+    pub(crate) last_access_ns: AtomicU64,
     /// Reads since the last fincore poll (FincoreApp mode).
-    reads_since_poll: AtomicU64,
+    pub(crate) reads_since_poll: AtomicU64,
     /// Pages the user-level view claimed cached but the OS missed —
     /// evidence that the imported bitmap has gone stale (e.g. the OS LRU
     /// reclaimed behind CROSS-LIB's back, §4.4's freshness challenge).
-    stale_pages: AtomicU64,
+    pub(crate) stale_pages: AtomicU64,
     /// Whether a whole-file fetch was already scheduled (FetchAll mode) —
     /// concurrent opens of a shared file must not stack redundant streams.
-    fetchall_scheduled: std::sync::atomic::AtomicBool,
+    pub(crate) fetchall_scheduled: std::sync::atomic::AtomicBool,
     /// Reads since the last whole-file refetch round (FetchAll mode):
     /// Table 2 describes `[+fetchall+opt]` as *monitoring* missing blocks
     /// via the exported bitmaps and prefetching them — a continuous
     /// policy, re-run periodically, not a one-shot open-time stream.
-    reads_since_refetch: AtomicU64,
+    pub(crate) reads_since_refetch: AtomicU64,
     /// Circular cursor for FetchAll refetch rounds.
-    refetch_cursor: AtomicU64,
+    pub(crate) refetch_cursor: AtomicU64,
 }
-
-/// Reads between whole-file refetch rounds in FetchAll mode.
-const FETCHALL_REFRESH_READS: u64 = 256;
-
-/// Unexpected-miss pages tolerated before the user-level cache view is
-/// discarded and re-imported from the OS.
-const STALE_RESYNC_PAGES: u64 = 128;
 
 /// An open file handle through CROSS-LIB — the shim's `FILE*` analogue.
 ///
@@ -63,39 +57,42 @@ const STALE_RESYNC_PAGES: u64 = 128;
 /// shared across handles to the same file.
 #[derive(Debug)]
 pub struct CpFile {
-    runtime: Runtime,
-    fd: Fd,
-    file: Arc<LibFile>,
-    predictor: Mutex<Predictor>,
+    pub(crate) runtime: Runtime,
+    pub(crate) fd: Fd,
+    pub(crate) file: Arc<LibFile>,
+    pub(crate) predictor: Mutex<Predictor>,
     /// Pages prefetched ahead of (forward) or behind (backward) the stream
     /// through this descriptor — the async-marker analogue that paces
     /// window growth by consumption instead of by access count.
-    fwd_frontier: AtomicU64,
-    back_frontier: AtomicU64,
+    pub(crate) fwd_frontier: AtomicU64,
+    pub(crate) back_frontier: AtomicU64,
     /// Current prefetch window for this descriptor, in pages.
-    window_pages: AtomicU64,
+    pub(crate) window_pages: AtomicU64,
     /// Whether mapped access restored fault-around already.
     mmap_touched: std::sync::atomic::AtomicBool,
     /// Last pattern index the tracer saw for this descriptor
-    /// ([`AccessPattern::index`]; 255 = none yet). Only touched while
-    /// tracing is enabled.
-    last_pattern: std::sync::atomic::AtomicU8,
+    /// ([`crate::predictor::AccessPattern::index`]; 255 = none yet). Only
+    /// touched while tracing is enabled.
+    pub(crate) last_pattern: std::sync::atomic::AtomicU8,
 }
 
 /// The CROSS-LIB runtime. Cheap to clone; all clones share state.
 #[derive(Debug, Clone)]
 pub struct Runtime {
-    inner: Arc<RuntimeInner>,
+    pub(crate) inner: Arc<RuntimeInner>,
 }
 
 #[derive(Debug)]
-struct RuntimeInner {
-    os: Arc<Os>,
-    config: RuntimeConfig,
-    features: Features,
-    files: RwLock<HashMap<InodeId, Arc<LibFile>>>,
-    workers: WorkerPool,
-    stats: LibStats,
+pub(crate) struct RuntimeInner {
+    pub(crate) os: Arc<Os>,
+    pub(crate) config: RuntimeConfig,
+    /// The mechanism-dispatch table, resolved once at construction.
+    pub(crate) policy: Policy,
+    /// Per-inode runtime state, sharded by inode number so unrelated
+    /// files' opens never serialize on one registry lock.
+    files: ShardedMap<Arc<LibFile>>,
+    pub(crate) workers: WorkerPool,
+    pub(crate) stats: LibStats,
     /// Last time (virtual ns) the memory watcher scanned candidates —
     /// bounds the eviction scan to once per watcher interval.
     last_evict_scan_ns: AtomicU64,
@@ -108,9 +105,9 @@ struct RuntimeInner {
     aggressive_pause_until: AtomicU64,
     /// Decision-event trace sink (disabled by default); also installed
     /// into the OS so kernel-side decisions land in the same log.
-    trace: Arc<TraceLog>,
+    pub(crate) trace: Arc<TraceLog>,
     /// Always-on latency distributions.
-    metrics: RuntimeMetrics,
+    pub(crate) metrics: RuntimeMetrics,
     /// One-way degradation latch: set when the kernel rejects
     /// `readahead_info` (`IoError::Unsupported`). Once set, every
     /// visibility prefetch is issued as blind `readahead(2)` instead —
@@ -122,7 +119,8 @@ struct RuntimeInner {
 impl Runtime {
     /// Attaches a runtime in the given mechanism mode to an OS.
     pub fn new(os: Arc<Os>, config: RuntimeConfig) -> Self {
-        let features = config.effective_features();
+        let policy = Policy::for_config(&config);
+        let shards = config.effective_registry_shards();
         let workers = WorkerPool::new(config.workers.max(1), Arc::clone(os.global()));
         let trace = Arc::new(TraceLog::default());
         // Bridge kernel-side decisions (readahead_info, RA window growth,
@@ -132,8 +130,8 @@ impl Runtime {
             inner: Arc::new(RuntimeInner {
                 os,
                 config,
-                features,
-                files: RwLock::new(HashMap::new()),
+                policy,
+                files: ShardedMap::new(shards),
                 workers,
                 stats: LibStats::default(),
                 last_evict_scan_ns: AtomicU64::new(0),
@@ -163,7 +161,12 @@ impl Runtime {
 
     /// The effective feature set.
     pub fn features(&self) -> Features {
-        self.inner.features
+        self.inner.policy.features
+    }
+
+    /// The mechanism-dispatch table in effect.
+    pub fn policy(&self) -> &Policy {
+        &self.inner.policy
     }
 
     /// Runtime counters.
@@ -199,23 +202,12 @@ impl Runtime {
         self.inner.os.new_clock()
     }
 
-    fn scope(&self) -> LockScope {
-        if self.inner.features.range_tree {
-            LockScope::PerNode
-        } else {
-            LockScope::WholeFile
-        }
+    pub(crate) fn scope(&self) -> LockScope {
+        self.inner.policy.scope
     }
 
     fn lib_file(&self, ino: InodeId, fd: Fd) -> Arc<LibFile> {
-        {
-            let files = self.inner.files.read();
-            if let Some(file) = files.get(&ino) {
-                return Arc::clone(file);
-            }
-        }
-        let mut files = self.inner.files.write();
-        Arc::clone(files.entry(ino).or_insert_with(|| {
+        self.inner.files.get_or_insert_with(ino.0, || {
             let tree = RangeTree::new();
             tree.set_wait_histogram(Arc::clone(&self.inner.metrics.lib_lock_wait_ns));
             Arc::new(LibFile {
@@ -229,7 +221,7 @@ impl Runtime {
                 reads_since_refetch: AtomicU64::new(0),
                 refetch_cursor: AtomicU64::new(0),
             })
-        }))
+        })
     }
 
     // ----- open -------------------------------------------------------------
@@ -272,25 +264,30 @@ impl Runtime {
     fn wrap_fd(&self, clock: &mut ThreadClock, fd: Fd) -> CpFile {
         let ino = self.inner.os.fd_inode(fd);
         let file = self.lib_file(ino, fd);
-        let features = self.inner.features;
+        let policy = &self.inner.policy;
 
-        if features.intercepting() && !features.fincore_poll {
+        if policy.silence_heuristic_ra {
             // CROSS-LIB owns prefetching: silence the OS heuristic so the
             // two layers do not double-prefetch.
             self.inner.os.fadvise(clock, fd, Advice::Random, 0, 0);
         }
 
-        if features.fetchall {
-            // [+fetchall+opt]: schedule the whole file at the *first* open;
-            // concurrent opens of a shared file reuse the same stream.
-            if !file.fetchall_scheduled.swap(true, Ordering::Relaxed) {
-                let pages = self.inner.os.fs().size(ino).div_ceil(PAGE_SIZE);
-                self.prefetch_pages(clock, &file, 0, pages, /* respect_floors = */ false);
+        match policy.open_action {
+            OpenAction::Nothing => {}
+            OpenAction::ScheduleWholeFile => {
+                // [+fetchall+opt]: schedule the whole file at the *first*
+                // open; concurrent opens of a shared file reuse the same
+                // stream.
+                if !file.fetchall_scheduled.swap(true, Ordering::Relaxed) {
+                    let pages = self.inner.os.fs().size(ino).div_ceil(PAGE_SIZE);
+                    self.prefetch_pages(clock, &file, 0, pages, /* respect_floors = */ false);
+                }
             }
-        } else if features.aggressive {
-            // §4.6: optimistic 2 MiB at open, memory permitting.
-            let pages = self.inner.config.open_prefetch_bytes / PAGE_SIZE;
-            self.prefetch_pages(clock, &file, 0, pages, true);
+            OpenAction::OptimisticWindow => {
+                // §4.6: optimistic 2 MiB at open, memory permitting.
+                let pages = self.inner.config.open_prefetch_bytes / PAGE_SIZE;
+                self.prefetch_pages(clock, &file, 0, pages, true);
+            }
         }
 
         CpFile {
@@ -326,7 +323,7 @@ impl Runtime {
     /// clean-memory headroom *and* no recent reclaim activity (memory
     /// pressure pauses aggressiveness for a grace interval — §4.6's
     /// high-watermark behaviour under a steady-state-full cache).
-    fn aggressive_allowed(&self, now: u64) -> bool {
+    pub(crate) fn aggressive_allowed(&self, now: u64) -> bool {
         let inner = &self.inner;
         if self.available_fraction() <= inner.config.aggressive_floor {
             return false;
@@ -348,7 +345,7 @@ impl Runtime {
     /// worker pool's virtual time. Returns the page index the schedule
     /// actually reached (`from` when nothing was scheduled), so pacing
     /// frontiers reflect the memory-clamped reality.
-    fn prefetch_pages(
+    pub(crate) fn prefetch_pages(
         &self,
         clock: &mut ThreadClock,
         file: &Arc<LibFile>,
@@ -380,8 +377,13 @@ impl Runtime {
 
         // User-level visibility check: skip entirely-cached requests. This
         // is the system-call reduction at the heart of §4.2.
-        let missing = if inner.features.visibility {
-            file.tree.missing_in(clock, costs, self.scope(), from, end)
+        let missing = if inner.policy.features.visibility {
+            let runs = file.tree.missing_in(clock, costs, self.scope(), from, end);
+            if inner.config.coalesce_prefetch {
+                self.coalesce_runs(runs)
+            } else {
+                runs
+            }
         } else {
             vec![(from, end)]
         };
@@ -405,8 +407,8 @@ impl Runtime {
 
         let runtime = self.clone();
         let file = Arc::clone(file);
-        let relax = inner.features.relax_limits;
-        let visibility = inner.features.visibility;
+        let relax = inner.policy.features.relax_limits;
+        let visibility = inner.policy.features.visibility;
         let max_pages = inner.config.max_prefetch_pages;
         // Reserve worker occupancy proportional to the syscalls the job
         // will issue.
@@ -453,6 +455,26 @@ impl Runtime {
             );
         }
         end
+    }
+
+    /// Merges adjacent missing runs separated by at most one OS readahead
+    /// window into a single submission (batched prefetch, opt-in via
+    /// [`RuntimeConfig::coalesce_prefetch`]). The merged span covers the
+    /// gap pages too — safe only on the cache-visibility path, where the
+    /// OS dedups already-cached pages inside the span.
+    fn coalesce_runs(&self, runs: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+        let gap = self.inner.os.config().ra_max_pages;
+        let mut out: Vec<(u64, u64)> = Vec::with_capacity(runs.len());
+        for (start, end) in runs {
+            match out.last_mut() {
+                Some(last) if start <= last.1.saturating_add(gap) => {
+                    last.1 = last.1.max(end);
+                    self.inner.stats.prefetch_runs_coalesced.incr();
+                }
+                _ => out.push((start, end)),
+            }
+        }
+        out
     }
 
     /// Worker half: actually issue the prefetch syscalls.
@@ -585,7 +607,7 @@ impl Runtime {
     /// inactive for 30 s) via `fadvise(DONTNEED)` until the target is met.
     pub fn maybe_evict(&self, clock: &mut ThreadClock, current: InodeId) {
         let inner = &self.inner;
-        if !inner.features.aggressive {
+        if !inner.policy.features.aggressive {
             return;
         }
         if self.free_fraction() >= inner.config.evict_trigger {
@@ -675,11 +697,19 @@ impl Runtime {
             .map(|f| f.tree.lock_wait_ns())
             .sum()
     }
+
+    /// Real-lock contention accounting for the per-file state registry
+    /// (host wall-clock waits on contended shard acquisitions; zero in
+    /// single-threaded runs).
+    pub fn file_registry_stats(&self) -> RegistryStats {
+        self.inner.files.stats()
+    }
 }
 
 impl RuntimeInner {
-    fn inner_files(&self) -> Vec<Arc<LibFile>> {
-        self.files.read().values().cloned().collect()
+    /// All per-file states, in inode order (deterministic iteration).
+    pub(crate) fn inner_files(&self) -> Vec<Arc<LibFile>> {
+        self.files.values_sorted()
     }
 }
 
@@ -706,12 +736,12 @@ impl CpFile {
 
     /// Reads `len` bytes at `offset`, timing only (no content).
     pub fn read_charge(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> ReadOutcome {
-        self.intercept_read(clock, offset, len, false).0
+        self.pipeline_read(clock, offset, len, false).0
     }
 
     /// Reads `len` bytes at `offset`, returning content.
     pub fn read(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> Vec<u8> {
-        let (outcome, _) = self.intercept_read(clock, offset, len, false);
+        let (outcome, _) = self.pipeline_read(clock, offset, len, false);
         let mut buf = vec![0u8; outcome.bytes as usize];
         if outcome.bytes > 0 {
             self.runtime
@@ -737,7 +767,7 @@ impl CpFile {
         offset: u64,
         len: u64,
     ) -> Result<ReadOutcome, IoError> {
-        self.intercept_read_impl(clock, offset, len, false, true)
+        self.pipeline_try_read(clock, offset, len)
             .map(|(outcome, _)| outcome)
     }
 
@@ -763,440 +793,15 @@ impl CpFile {
         Ok(buf)
     }
 
-    fn intercept_read(
-        &self,
-        clock: &mut ThreadClock,
-        offset: u64,
-        len: u64,
-        is_write: bool,
-    ) -> (ReadOutcome, u64) {
-        match self.intercept_read_impl(clock, offset, len, is_write, false) {
-            Ok(result) => result,
-            // The infallible OS paths never fail (they do not consult the
-            // fault plan's EIO schedule).
-            Err(_) => unreachable!("infallible read path returned an error"),
-        }
-    }
-
-    fn intercept_read_impl(
-        &self,
-        clock: &mut ThreadClock,
-        offset: u64,
-        len: u64,
-        is_write: bool,
-        fallible: bool,
-    ) -> Result<(ReadOutcome, u64), IoError> {
-        let runtime = &self.runtime;
-        let inner = &runtime.inner;
-        let features = inner.features;
-        let entry_ns = clock.now();
-        // One relaxed load; every emit site below is gated on this bool, so
-        // disabled tracing costs exactly this on the read path.
-        let tracing = inner.trace.is_enabled();
-        if is_write {
-            inner.stats.writes.incr();
-        } else {
-            inner.stats.reads.incr();
-        }
-
-        if !features.intercepting() {
-            let p0 = offset / PAGE_SIZE;
-            let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
-            let outcome = if is_write {
-                let written = inner.os.write_charge(clock, self.fd, offset, len);
-                ReadOutcome {
-                    bytes: written,
-                    ..ReadOutcome::default()
-                }
-            } else if fallible {
-                match inner.os.try_read_charge(clock, self.fd, offset, len) {
-                    Ok(outcome) => outcome,
-                    Err(err) => return Err(self.note_read_error(clock, err, p0, p1 - p0, tracing)),
-                }
-            } else {
-                inner.os.read_charge(clock, self.fd, offset, len)
-            };
-            self.finish_io(clock, &outcome, is_write, entry_ns, tracing, (p0, p1 - p0));
-            return Ok((outcome, 0));
-        }
-
-        let costs = &inner.os.config().costs;
-        let p0 = offset / PAGE_SIZE;
-        let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
-        let pages = p1 - p0;
-
-        // Predictor step (cheap, per intercepted I/O).
-        let prediction = if features.predict {
-            clock.advance(costs.predictor_step_ns);
-            let aggressive_ok = features.aggressive && runtime.aggressive_allowed(clock.now());
-            Some(self.predictor.lock().on_access(
-                p0,
-                pages,
-                aggressive_ok,
-                inner.config.max_prefetch_pages,
-            ))
-        } else {
-            None
-        };
-
-        if tracing {
-            if let Some(pred) = &prediction {
-                let index = pred.pattern.index();
-                let prev = self.last_pattern.swap(index, Ordering::Relaxed);
-                if prev != index {
-                    inner.trace.emit(
-                        clock.now(),
-                        TraceEventKind::PredictorFlip {
-                            ino: self.file.ino,
-                            from: AccessPattern::from_index(prev),
-                            to: pred.pattern,
-                        },
-                    );
-                }
-            }
-        }
-
-        // Prefetch per prediction *before* performing the I/O — the shim
-        // intercepts at syscall entry, so the prefetch stream overlaps the
-        // demand fill instead of trailing it. Requests are paced by
-        // consumption: a new one is issued only when the stream has read
-        // into the trailing half of the previous window (Linux's
-        // async-marker idea lifted to user space), and only then may the
-        // window grow.
-        if let Some(pred) = prediction {
-            self.paced_prefetch(clock, pred, p0, p1);
-        }
-
-        // How much of this range the user-level view believes is cached —
-        // read before the I/O so staleness is observable afterwards.
-        let claimed = if features.visibility && !is_write {
-            self.file
-                .tree
-                .cached_in(clock, costs, runtime.scope(), p0, p1)
-        } else {
-            0
-        };
-        if tracing && features.visibility && !is_write {
-            let outcome = if claimed == pages {
-                LookupOutcome::Hit
-            } else if claimed == 0 {
-                LookupOutcome::Miss
-            } else {
-                LookupOutcome::Partial
-            };
-            inner.trace.emit(
-                clock.now(),
-                TraceEventKind::TreeLookup {
-                    ino: self.file.ino,
-                    start_page: p0,
-                    pages,
-                    outcome,
-                },
-            );
-        }
-
-        // The actual I/O.
-        let outcome = if is_write {
-            let written = inner.os.write_charge(clock, self.fd, offset, len);
-            ReadOutcome {
-                bytes: written,
-                ..ReadOutcome::default()
-            }
-        } else if fallible {
-            match inner.os.try_read_charge(clock, self.fd, offset, len) {
-                Ok(outcome) => outcome,
-                Err(err) => {
-                    // Pages the fill completed stay cached OS-side; the
-                    // user-level view is left unmarked, so a retry
-                    // re-checks honestly and reads only what is missing.
-                    self.file
-                        .last_access_ns
-                        .store(clock.now(), Ordering::Relaxed);
-                    return Err(self.note_read_error(clock, err, p0, pages, tracing));
-                }
-            }
-        } else {
-            inner.os.read_charge(clock, self.fd, offset, len)
-        };
-
-        // Staleness detection: more misses than the view predicted means
-        // the OS evicted pages behind our back. Accumulate evidence and
-        // resynchronize by dropping the view — subsequent prefetch checks
-        // fall through to the cheap `readahead_info` fast path, which
-        // re-imports the authoritative bitmap.
-        if features.visibility && !is_write {
-            let expected_miss = pages - claimed;
-            if outcome.miss_pages > expected_miss {
-                let unexpected = outcome.miss_pages - expected_miss;
-                inner.stats.stale_pages_observed.add(unexpected);
-                let total = self
-                    .file
-                    .stale_pages
-                    .fetch_add(unexpected, Ordering::Relaxed)
-                    + unexpected;
-                if total >= STALE_RESYNC_PAGES {
-                    inner.stats.stale_resyncs.incr();
-                    self.file.stale_pages.store(0, Ordering::Relaxed);
-                    self.file.tree.clear(clock, costs, runtime.scope());
-                }
-            }
-        }
-
-        // A miss inside the frontier-claimed region means the claim is
-        // stale (evicted or never actually covered): reset the pacing
-        // frontier so prefetching re-engages from here.
-        if outcome.miss_pages > 0 {
-            if p1 <= self.fwd_frontier.load(Ordering::Relaxed) {
-                self.fwd_frontier.store(p1, Ordering::Relaxed);
-            }
-            if p0 >= self.back_frontier.load(Ordering::Relaxed) {
-                self.back_frontier.store(p0, Ordering::Relaxed);
-            }
-        }
-
-        // Update the user-level view: these pages are now cached.
-        if features.visibility && pages > 0 {
-            self.file
-                .tree
-                .mark_cached(clock, costs, runtime.scope(), p0, p1);
-        }
-        self.file
-            .last_access_ns
-            .store(clock.now(), Ordering::Relaxed);
-
-        // FetchAll monitoring: periodically re-prefetch missing blocks,
-        // walking the file circularly. The policy assumes data fits in
-        // memory (Table 2); when it does not, rounds are capped and backed
-        // off so the refetch churn degrades toward the baselines rather
-        // than collapsing below them (Figure 7c's low-memory shape).
-        if features.fetchall && !is_write {
-            let n = self
-                .file
-                .reads_since_refetch
-                .fetch_add(1, Ordering::Relaxed)
-                + 1;
-            let file_pages = inner.os.fs().size(self.file.ino).div_ceil(PAGE_SIZE);
-            let budget = inner.os.mem().budget();
-            let over_memory = file_pages > budget;
-            let interval = if over_memory {
-                FETCHALL_REFRESH_READS * 16
-            } else {
-                FETCHALL_REFRESH_READS
-            };
-            if n.is_multiple_of(interval) && file_pages > 0 {
-                let round = if over_memory {
-                    (budget / 4).max(1)
-                } else {
-                    file_pages
-                };
-                let start = self.file.refetch_cursor.load(Ordering::Relaxed) % file_pages;
-                let reached = runtime.prefetch_pages(
-                    clock,
-                    &self.file,
-                    start,
-                    round.min(file_pages - start),
-                    false,
-                );
-                self.file.refetch_cursor.store(
-                    if reached >= file_pages { 0 } else { reached },
-                    Ordering::Relaxed,
-                );
-            }
-        }
-
-        // FincoreApp strawman: periodic fincore poll + blind readahead.
-        if features.fincore_poll {
-            let n = self.file.reads_since_poll.fetch_add(1, Ordering::Relaxed) + 1;
-            if n.is_multiple_of(inner.config.fincore_poll_interval) {
-                inner.stats.fincore_polls.incr();
-                let runtime2 = runtime.clone();
-                let fd = self.file.prefetch_fd;
-                let next = p1 * PAGE_SIZE;
-                inner
-                    .workers
-                    .dispatch(clock.now(), costs.syscall_ns, move |wclock| {
-                        let os = runtime2.os();
-                        os.fincore(wclock, fd);
-                        os.readahead(wclock, fd, next, 1 << 20);
-                    });
-            }
-        }
-
-        // Memory watcher.
-        if features.aggressive {
-            runtime.maybe_evict(clock, self.file.ino);
-        }
-
-        self.finish_io(clock, &outcome, is_write, entry_ns, tracing, (p0, pages));
-        Ok((outcome, pages))
-    }
-
-    /// Error exit hook for the fallible read path: counts the surfaced
-    /// error and emits the `read-error` trace event.
-    fn note_read_error(
-        &self,
-        clock: &mut ThreadClock,
-        err: IoError,
-        start_page: u64,
-        pages: u64,
-        tracing: bool,
-    ) -> IoError {
-        let inner = &self.runtime.inner;
-        inner.stats.read_errors.incr();
-        if tracing {
-            inner.trace.emit(
-                clock.now(),
-                TraceEventKind::ReadError {
-                    ino: self.file.ino,
-                    start_page,
-                    pages,
-                },
-            );
-        }
-        err
-    }
-
-    /// Shared exit hook: records the end-to-end latency into the
-    /// outcome-classed histogram and emits the read/write-exit trace event.
-    /// `span` is the access as `(start_page, pages)`.
-    fn finish_io(
-        &self,
-        clock: &mut ThreadClock,
-        outcome: &ReadOutcome,
-        is_write: bool,
-        entry_ns: u64,
-        tracing: bool,
-        span: (u64, u64),
-    ) {
-        let inner = &self.runtime.inner;
-        let latency_ns = clock.now().saturating_sub(entry_ns);
-        let (start_page, pages) = span;
-        if is_write {
-            inner.metrics.write_ns.record(latency_ns);
-            if tracing {
-                inner.trace.emit(
-                    clock.now(),
-                    TraceEventKind::WriteExit {
-                        ino: self.file.ino,
-                        start_page,
-                        pages,
-                        latency_ns,
-                    },
-                );
-            }
-        } else {
-            let class = ReadClass::of(outcome);
-            inner.metrics.read_hist(class).record(latency_ns);
-            if tracing {
-                inner.trace.emit(
-                    clock.now(),
-                    TraceEventKind::ReadExit {
-                        ino: self.file.ino,
-                        start_page,
-                        pages,
-                        class,
-                        latency_ns,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Consumption-paced prefetch issuing (the user-space async marker).
-    ///
-    /// The descriptor keeps a *frontier* (how far prefetch has reached in
-    /// the stream's direction) and a *window*. A new request is issued
-    /// when the read position crosses into the trailing half of the
-    /// window before the frontier; each issue may double the window, up
-    /// to the configured and memory-budget limits. A random-classified
-    /// stream collapses the window and frontier.
-    fn paced_prefetch(
-        &self,
-        clock: &mut ThreadClock,
-        pred: crate::predictor::Prediction,
-        p0: u64,
-        p1: u64,
-    ) {
-        use crate::predictor::Direction;
-        let runtime = &self.runtime;
-        let inner = &runtime.inner;
-
-        if pred.prefetch_pages == 0 {
-            // Random stream: collapse pacing state.
-            self.window_pages.store(0, Ordering::Relaxed);
-            self.fwd_frontier.store(p1, Ordering::Relaxed);
-            self.back_frontier.store(p0, Ordering::Relaxed);
-            return;
-        }
-
-        let max_pages = inner.config.max_prefetch_pages;
-        let window = self.window_pages.load(Ordering::Relaxed);
-        match pred.direction {
-            Direction::Forward => {
-                let frontier = self.fwd_frontier.load(Ordering::Relaxed);
-                // Any run break invalidates the frontier: speculation from
-                // the previous position says nothing about the new one.
-                let frontier = if pred.jumped || frontier < p1 {
-                    p1
-                } else {
-                    frontier
-                };
-                let marker = frontier.saturating_sub(window / 2);
-                if p1 < marker {
-                    return; // plenty prefetched ahead already
-                }
-                let next_window = if pred.aggressive {
-                    (window * 2).clamp(pred.prefetch_pages, max_pages)
-                } else {
-                    pred.prefetch_pages.min(max_pages)
-                };
-                let target = p1 + next_window;
-                let start = frontier.max(p1);
-                if target > start {
-                    let reached =
-                        runtime.prefetch_pages(clock, &self.file, start, target - start, true);
-                    self.fwd_frontier.store(reached.max(p1), Ordering::Relaxed);
-                    self.window_pages.store(next_window, Ordering::Relaxed);
-                }
-            }
-            Direction::Backward => {
-                let frontier = self.back_frontier.load(Ordering::Relaxed);
-                let frontier = if pred.jumped || frontier > p0 {
-                    p0
-                } else {
-                    frontier
-                };
-                let marker = frontier + window / 2;
-                if p0 > marker {
-                    return;
-                }
-                let next_window = if pred.aggressive {
-                    (window * 2).clamp(pred.prefetch_pages, max_pages)
-                } else {
-                    pred.prefetch_pages.min(max_pages)
-                };
-                let target = p0.saturating_sub(next_window);
-                let end = frontier.min(p0);
-                if end > target {
-                    // Backward prefetch is clamped from the front; treat a
-                    // partial schedule as full coverage of the tail.
-                    runtime.prefetch_pages(clock, &self.file, target, end - target, true);
-                    self.back_frontier.store(target, Ordering::Relaxed);
-                    self.window_pages.store(next_window, Ordering::Relaxed);
-                }
-            }
-        }
-    }
-
     /// Writes `len` bytes at `offset`, timing only.
     pub fn write_charge(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> u64 {
-        self.intercept_read(clock, offset, len, true).0.bytes
+        self.pipeline_read(clock, offset, len, true).0.bytes
     }
 
     /// Writes content at `offset`.
     pub fn write(&self, clock: &mut ThreadClock, offset: u64, data: &[u8]) -> u64 {
         let written = self
-            .intercept_read(clock, offset, data.len() as u64, true)
+            .pipeline_read(clock, offset, data.len() as u64, true)
             .0
             .bytes;
         if written > 0 {
@@ -1232,7 +837,7 @@ impl CpFile {
         // avoid double-prefetching, but mmap faults have no syscall to
         // intercept: restore fault-around for mapped access (the OS bitmap
         // dedups any overlap with the runtime's own prefetch).
-        if inner.features.intercepting()
+        if inner.policy.intercept
             && self
                 .mmap_touched
                 .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
@@ -1241,17 +846,17 @@ impl CpFile {
             inner.os.fadvise(clock, self.fd, Advice::Normal, 0, 0);
         }
         let outcome = inner.os.mmap_read(clock, self.fd, offset, len);
-        if inner.features.predict && len > 0 {
+        if inner.policy.features.predict && len > 0 {
             let costs = &inner.os.config().costs;
             let p0 = offset / PAGE_SIZE;
             let p1 = (offset + len).div_ceil(PAGE_SIZE);
-            if inner.features.visibility {
+            if inner.policy.features.visibility {
                 self.file
                     .tree
                     .mark_cached(clock, costs, runtime.scope(), p0, p1);
             }
             let aggressive_ok =
-                inner.features.aggressive && runtime.aggressive_allowed(clock.now());
+                inner.policy.features.aggressive && runtime.aggressive_allowed(clock.now());
             let pred = self.predictor.lock().on_access(
                 p0,
                 p1 - p0,

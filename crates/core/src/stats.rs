@@ -40,6 +40,10 @@ pub struct LibStats {
     pub stale_resyncs: Counter,
     /// Stale pages (claimed cached, found evicted) the watchdog observed.
     pub stale_pages_observed: Counter,
+    /// Adjacent planned prefetch runs merged into an earlier submission
+    /// ([`crate::RuntimeConfig::coalesce_prefetch`]); each merge is one
+    /// saved syscall-bearing submission.
+    pub prefetch_runs_coalesced: Counter,
 }
 
 impl LibStats {

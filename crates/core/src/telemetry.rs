@@ -11,8 +11,9 @@
 use std::fmt;
 
 use simclock::HistogramSnapshot;
-use simos::PrefetchQuality;
+use simos::{PrefetchQuality, RegistryStats};
 
+use crate::metrics::PipelineStage;
 use crate::Runtime;
 
 /// Version stamped into every JSON export; bump on breaking layout change.
@@ -94,6 +95,18 @@ pub struct RuntimeReport {
     pub evict_scan: HistogramSnapshot,
     /// OS reclaim pass scan time.
     pub os_reclaim_scan: HistogramSnapshot,
+    /// Adjacent prefetch runs merged by opt-in submission coalescing.
+    pub prefetch_runs_coalesced: u64,
+    /// Per-stage virtual-time cost of the staged read pipeline, in
+    /// [`PipelineStage::all`] order as `(stage name, distribution)`.
+    pub stage_latency: Vec<(&'static str, HistogramSnapshot)>,
+    /// Real-lock contention on the CROSS-LIB per-file registry shards
+    /// (wall-clock, contended acquisitions only; zero single-threaded).
+    pub lib_registry: RegistryStats,
+    /// Real-lock contention on the CROSS-OS inode-cache registry shards.
+    pub os_cache_registry: RegistryStats,
+    /// Real-lock contention on the CROSS-OS descriptor-table shards.
+    pub os_fd_registry: RegistryStats,
 }
 
 impl RuntimeReport {
@@ -139,6 +152,14 @@ impl RuntimeReport {
             lib_lock_wait: metrics.lib_lock_wait_ns.snapshot(),
             evict_scan: metrics.evict_scan_ns.snapshot(),
             os_reclaim_scan: os.stats().reclaim_scan_hist.snapshot(),
+            prefetch_runs_coalesced: stats.prefetch_runs_coalesced.get(),
+            stage_latency: PipelineStage::all()
+                .iter()
+                .map(|&stage| (stage.name(), metrics.stage_hist(stage).snapshot()))
+                .collect(),
+            lib_registry: runtime.file_registry_stats(),
+            os_cache_registry: os.cache_registry_stats(),
+            os_fd_registry: os.fd_registry_stats(),
         }
     }
 
@@ -223,6 +244,27 @@ impl RuntimeReport {
             lib_lock_wait: self.lib_lock_wait.delta(&earlier.lib_lock_wait),
             evict_scan: self.evict_scan.delta(&earlier.evict_scan),
             os_reclaim_scan: self.os_reclaim_scan.delta(&earlier.os_reclaim_scan),
+            prefetch_runs_coalesced: self
+                .prefetch_runs_coalesced
+                .saturating_sub(earlier.prefetch_runs_coalesced),
+            stage_latency: self
+                .stage_latency
+                .iter()
+                .map(|(name, snap)| {
+                    let prior = earlier
+                        .stage_latency
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, s)| s);
+                    match prior {
+                        Some(s) => (*name, snap.delta(s)),
+                        None => (*name, snap.clone()),
+                    }
+                })
+                .collect(),
+            lib_registry: self.lib_registry.delta(&earlier.lib_registry),
+            os_cache_registry: self.os_cache_registry.delta(&earlier.os_cache_registry),
+            os_fd_registry: self.os_fd_registry.delta(&earlier.os_fd_registry),
         }
     }
 
@@ -291,14 +333,51 @@ impl RuntimeReport {
             if i > 0 {
                 out.push(',');
             }
+            out.push_str(&json_hist(name, snap));
+        }
+        out.push_str("},");
+        // Additive schema-v1 extensions: every pre-existing key above
+        // renders byte-identically; new sections only append.
+        out.push_str("\"stages\":{");
+        for (i, (name, snap)) in self.stage_latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_hist(name, snap));
+        }
+        out.push_str("},");
+        push_field(
+            &mut out,
+            "prefetch_runs_coalesced",
+            self.prefetch_runs_coalesced,
+        );
+        // Keep "registries" the last section: shard count is deployment
+        // configuration (it never affects the simulated timeline), so
+        // determinism checks across shard counts compare the prefix.
+        out.push_str("\"registries\":{");
+        for (i, (name, stats)) in [
+            ("lib_files", &self.lib_registry),
+            ("os_caches", &self.os_cache_registry),
+            ("os_fds", &self.os_fd_registry),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                "\"{}\":{{\"shards\":{},\"lock_wait_ns\":{},\"contended\":{},\"per_shard_wait_ns\":[{}]}}",
                 name,
-                snap.count,
-                snap.sum,
-                snap.p50(),
-                snap.p95(),
-                snap.p99()
+                stats.shards(),
+                stats.total_wait_ns(),
+                stats.total_contended(),
+                stats
+                    .per_shard_wait_ns
+                    .iter()
+                    .map(|ns| ns.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ));
         }
         out.push_str("}}");
@@ -323,6 +402,19 @@ impl RuntimeReport {
 
 fn push_field(out: &mut String, name: &str, value: u64) {
     out.push_str(&format!("\"{name}\":{value},"));
+}
+
+/// One histogram as a `{count, sum, p50, p95, p99}` summary object.
+fn json_hist(name: &str, snap: &HistogramSnapshot) -> String {
+    format!(
+        "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+        name,
+        snap.count,
+        snap.sum,
+        snap.p50(),
+        snap.p95(),
+        snap.p99()
+    )
 }
 
 /// Minimal JSON string escaping (quotes, backslash, control chars).
@@ -405,6 +497,30 @@ impl fmt::Display for RuntimeReport {
             ("prefetch", &self.prefetch_latency),
         ] {
             writeln!(f, "{}", Self::latency_line(name, snap))?;
+        }
+        writeln!(f, "pipeline   :")?;
+        for (name, snap) in &self.stage_latency {
+            writeln!(f, "{}", Self::latency_line(name, snap))?;
+        }
+        writeln!(
+            f,
+            "registries : lib {} shards ({} contended, {} us), os-caches {} shards ({} contended, {} us), os-fds {} shards ({} contended, {} us)",
+            self.lib_registry.shards(),
+            self.lib_registry.total_contended(),
+            self.lib_registry.total_wait_ns() / 1_000,
+            self.os_cache_registry.shards(),
+            self.os_cache_registry.total_contended(),
+            self.os_cache_registry.total_wait_ns() / 1_000,
+            self.os_fd_registry.shards(),
+            self.os_fd_registry.total_contended(),
+            self.os_fd_registry.total_wait_ns() / 1_000
+        )?;
+        if self.prefetch_runs_coalesced > 0 {
+            writeln!(
+                f,
+                "coalescing : {} prefetch runs merged before submission",
+                self.prefetch_runs_coalesced
+            )?;
         }
         write!(f, "")
     }

@@ -32,6 +32,11 @@ pub struct OsConfig {
     /// to blind `readahead(2)`. The infallible `readahead_info` ignores
     /// this flag.
     pub readahead_info_supported: bool,
+    /// Shards for the inode-cache and descriptor registries
+    /// ([`crate::shard::ShardedMap`]). Shard count never affects simulated
+    /// timing or telemetry counters — only real-lock contention between
+    /// host threads. Default 4 (2× the runtime's default worker count).
+    pub registry_shards: usize,
     /// Software operation costs.
     pub costs: CostModel,
 }
@@ -58,6 +63,7 @@ impl Default for OsConfig {
             inactive_after_ns: 30 * NS_PER_SEC,
             per_inode_lru: false,
             readahead_info_supported: true,
+            registry_shards: 4,
             costs: CostModel::default(),
         }
     }

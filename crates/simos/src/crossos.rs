@@ -148,10 +148,7 @@ impl Os {
     /// # Ok::<(), simos::FsError>(())
     /// ```
     pub fn readahead_info(&self, clock: &mut ThreadClock, fd: Fd, req: RaInfoRequest) -> RaInfo {
-        match self.readahead_info_impl(clock, fd, req, false) {
-            Ok(info) => info,
-            Err(_) => unreachable!("infallible readahead_info cannot fault"),
-        }
+        crate::os::into_ok(self.readahead_info_impl::<crate::os::NeverFault>(clock, fd, req))
     }
 
     /// Fallible variant of [`Os::readahead_info`].
@@ -182,16 +179,15 @@ impl Os {
             self.stats().ra_info_unsupported.incr();
             return Err(IoError::Unsupported);
         }
-        self.readahead_info_impl(clock, fd, req, true)
+        self.readahead_info_impl::<crate::os::MayFault>(clock, fd, req)
     }
 
-    fn readahead_info_impl(
+    fn readahead_info_impl<F: crate::os::FaultMode>(
         &self,
         clock: &mut ThreadClock,
         fd: Fd,
         req: RaInfoRequest,
-        fallible: bool,
-    ) -> Result<RaInfo, IoError> {
+    ) -> Result<RaInfo, F::Error> {
         let costs = &self.config().costs;
         clock.advance(costs.syscall_ns);
         self.stats().syscalls.incr();
@@ -248,22 +244,15 @@ impl Os {
                     let upto = (cursor + chunk_pages).min(e);
                     let before = io_clock.now();
                     for run in self.fs().map_blocks(entry.ino, cursor, upto - cursor) {
-                        if fallible {
-                            // All-or-nothing: nothing has been inserted or
-                            // published yet, so propagating here leaves the
-                            // bitmap and tree exactly as before the call.
-                            self.device().try_charge_read(
-                                &mut io_clock,
-                                run.blocks,
-                                IoPriority::Prefetch,
-                            )?;
-                        } else {
-                            self.device().charge_read(
-                                &mut io_clock,
-                                run.blocks,
-                                IoPriority::Prefetch,
-                            );
-                        }
+                        // All-or-nothing: nothing has been inserted or
+                        // published yet, so propagating here leaves the
+                        // bitmap and tree exactly as before the call.
+                        F::charge_read(
+                            self.device(),
+                            &mut io_clock,
+                            run.blocks,
+                            IoPriority::Prefetch,
+                        )?;
                     }
                     push_interpolated_ready(&mut chunk_ready, cursor, upto, before, io_clock.now());
                     cursor = upto;

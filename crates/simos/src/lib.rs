@@ -51,6 +51,7 @@ mod mmap;
 mod os;
 pub mod readahead;
 pub mod reclaim;
+pub mod shard;
 mod stats;
 pub mod trace;
 
@@ -60,6 +61,7 @@ pub use crossos::{bitmap_has_page, RaInfo, RaInfoRequest};
 pub use error::IoError;
 pub use mmap::MmapOutcome;
 pub use os::{Advice, Fd, FdEntry, Os, ReadOutcome, PAGE_SIZE};
+pub use shard::{RegistryStats, ShardedMap};
 pub use stats::OsStats;
 pub use trace::{OsTraceEvent, OsTraceSink};
 

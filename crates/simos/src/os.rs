@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use simclock::{FcfsResource, GlobalClock, ThreadClock};
 use simfs::{FileSystem, FsError, InodeId};
 use simstore::{Device, IoPriority, BLOCK_SIZE};
@@ -11,9 +11,75 @@ use crate::cache::InodeCache;
 use crate::error::IoError;
 use crate::readahead::{RaMode, RaState};
 use crate::reclaim::{select_victims, MemoryManager};
+use crate::shard::{RegistryStats, ShardedMap};
 use crate::stats::OsStats;
 use crate::trace::{OsTraceEvent, OsTraceSink};
 use crate::OsConfig;
+
+/// Compile-time fault discipline of the shared read/prefetch pipelines.
+///
+/// The fallible entry points instantiate the shared implementations with
+/// [`MayFault`] (device charges consult the fault plan and can surface an
+/// error); the infallible ones use [`NeverFault`], whose error type is
+/// uninhabited — the infallible adapters are statically fault-free
+/// instead of dynamically asserting `unreachable!()`.
+pub(crate) trait FaultMode {
+    /// Error a device charge can surface; uninhabited for [`NeverFault`].
+    type Error;
+
+    /// Charges a device read under this mode's fault discipline.
+    fn charge_read(
+        device: &Device,
+        clock: &mut ThreadClock,
+        blocks: u64,
+        priority: IoPriority,
+    ) -> Result<(), Self::Error>;
+}
+
+/// Fault discipline of the `try_*` surface: consults the fault plan.
+pub(crate) struct MayFault;
+
+impl FaultMode for MayFault {
+    type Error = IoError;
+
+    fn charge_read(
+        device: &Device,
+        clock: &mut ThreadClock,
+        blocks: u64,
+        priority: IoPriority,
+    ) -> Result<(), IoError> {
+        device
+            .try_charge_read(clock, blocks, priority)
+            .map_err(IoError::from)
+    }
+}
+
+/// Fault discipline of the infallible surface: never consults the fault
+/// plan, so its error type has no values and error arms vanish at
+/// compile time.
+pub(crate) struct NeverFault;
+
+impl FaultMode for NeverFault {
+    type Error = std::convert::Infallible;
+
+    fn charge_read(
+        device: &Device,
+        clock: &mut ThreadClock,
+        blocks: u64,
+        priority: IoPriority,
+    ) -> Result<(), std::convert::Infallible> {
+        device.charge_read(clock, blocks, priority);
+        Ok(())
+    }
+}
+
+/// Collapses an infallible `Result` without a runtime assertion.
+pub(crate) fn into_ok<T>(result: Result<T, std::convert::Infallible>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(err) => match err {},
+    }
+}
 
 /// Page size in bytes (same as the device block size).
 pub const PAGE_SIZE: u64 = BLOCK_SIZE as u64;
@@ -52,6 +118,17 @@ impl FdEntry {
     }
 }
 
+/// Descriptor-slot allocator: a LIFO free list over a monotonic counter,
+/// so slots released by [`Os::close`] are reused instead of growing the
+/// registry without bound.
+#[derive(Debug, Default)]
+struct FdAllocator {
+    /// Next never-used slot (the registry's high-water mark).
+    next: usize,
+    /// Slots returned by `close`, reused most-recently-freed first.
+    free: Vec<usize>,
+}
+
 /// Result of a read: page-level hit/miss accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadOutcome {
@@ -80,8 +157,14 @@ pub struct Os {
     device: Arc<Device>,
     fs: Arc<FileSystem>,
     global: Arc<GlobalClock>,
-    caches: RwLock<Vec<Arc<InodeCache>>>,
-    fds: RwLock<Vec<Arc<FdEntry>>>,
+    caches: ShardedMap<Arc<InodeCache>>,
+    /// High-water mark of created cache slots: [`Os::cache`] fills every
+    /// slot up to the requested inode, so the ordered registry snapshot
+    /// keeps the dense one-slot-per-inode shape reclaim indexes by
+    /// position.
+    cache_slots: Mutex<u64>,
+    fds: ShardedMap<Arc<FdEntry>>,
+    fd_alloc: Mutex<FdAllocator>,
     mem: MemoryManager,
     /// Process address-space lock (taken by fincore/mincore and faults).
     mmap_lock: FcfsResource,
@@ -94,13 +177,16 @@ impl Os {
     /// Boots an OS over a device and filesystem.
     pub fn new(config: OsConfig, device: Device, fs: FileSystem) -> Arc<Self> {
         let mem = MemoryManager::new(config.memory_budget_pages);
+        let shards = config.registry_shards;
         Arc::new(Self {
             config,
             device: Arc::new(device),
             fs: Arc::new(fs),
             global: Arc::new(GlobalClock::new()),
-            caches: RwLock::new(Vec::new()),
-            fds: RwLock::new(Vec::new()),
+            caches: ShardedMap::new(shards),
+            cache_slots: Mutex::new(0),
+            fds: ShardedMap::new(shards),
+            fd_alloc: Mutex::new(FdAllocator::default()),
             mem,
             mmap_lock: FcfsResource::new("mmap-sem"),
             stats: OsStats::default(),
@@ -162,23 +248,44 @@ impl Os {
 
     /// Cache object for an inode (creating the slot if needed).
     pub fn cache(&self, ino: InodeId) -> Arc<InodeCache> {
-        {
-            let caches = self.caches.read();
-            if let Some(cache) = caches.get(ino.0 as usize) {
-                return Arc::clone(cache);
-            }
+        if let Some(cache) = self.caches.get(ino.0) {
+            return cache;
         }
-        let mut caches = self.caches.write();
-        while caches.len() <= ino.0 as usize {
-            let next = InodeId(caches.len() as u64);
-            caches.push(Arc::new(InodeCache::new(next)));
+        // Fill every slot up to `ino` under the high-water-mark lock, so
+        // the ordered snapshot stays dense even when inodes are first
+        // touched out of order.
+        let mut hwm = self.cache_slots.lock();
+        while *hwm <= ino.0 {
+            let next = InodeId(*hwm);
+            self.caches
+                .get_or_insert_with(next.0, || Arc::new(InodeCache::new(next)));
+            *hwm += 1;
         }
-        Arc::clone(&caches[ino.0 as usize])
+        drop(hwm);
+        self.caches.get(ino.0).expect("cache slot just created")
     }
 
-    /// All cache objects (reclaim scan, telemetry).
+    /// All cache objects in inode order (reclaim scan, telemetry).
     pub fn all_caches(&self) -> Vec<Arc<InodeCache>> {
-        self.caches.read().clone()
+        self.caches.values_sorted()
+    }
+
+    /// Per-shard lock-wait tallies of the inode-cache registry.
+    pub fn cache_registry_stats(&self) -> RegistryStats {
+        self.caches.stats()
+    }
+
+    /// Per-shard lock-wait tallies of the descriptor registry.
+    pub fn fd_registry_stats(&self) -> RegistryStats {
+        self.fds.stats()
+    }
+
+    /// Descriptor-slot accounting as `(high_water, live)`: slots ever
+    /// allocated and descriptors currently open. With free-list reuse the
+    /// high-water mark tracks peak concurrent opens, not total opens.
+    pub fn fd_slot_stats(&self) -> (usize, usize) {
+        let alloc = self.fd_alloc.lock();
+        (alloc.next, alloc.next - alloc.free.len())
     }
 
     // ----- namespace ------------------------------------------------------
@@ -225,10 +332,14 @@ impl Os {
         Ok(self.install_fd(ino))
     }
 
-    /// Closes a descriptor. (Descriptor slots are not recycled; the entry
-    /// simply stops being used.)
-    pub fn close(&self, clock: &mut ThreadClock, _fd: Fd) {
+    /// Closes a descriptor, returning its slot to the free list for reuse.
+    /// Using a closed descriptor afterwards is a harness bug and panics in
+    /// [`Os::fd_entry`].
+    pub fn close(&self, clock: &mut ThreadClock, fd: Fd) {
         clock.advance(self.config.costs.syscall_ns);
+        if self.fds.remove(fd.0 as u64).is_some() {
+            self.fd_alloc.lock().free.push(fd.0);
+        }
     }
 
     /// Removes a file, dropping its cached pages.
@@ -249,22 +360,35 @@ impl Os {
     fn install_fd(&self, ino: InodeId) -> Fd {
         // Ensure the cache slot exists before I/O begins.
         let _ = self.cache(ino);
-        let mut fds = self.fds.write();
-        let fd = Fd(fds.len());
-        fds.push(Arc::new(FdEntry {
-            ino,
-            ra: Mutex::new(RaState::new(self.config.ra_max_pages)),
-        }));
-        fd
+        let slot = {
+            let mut alloc = self.fd_alloc.lock();
+            match alloc.free.pop() {
+                Some(slot) => slot,
+                None => {
+                    let slot = alloc.next;
+                    alloc.next += 1;
+                    slot
+                }
+            }
+        };
+        self.fds.insert(
+            slot as u64,
+            Arc::new(FdEntry {
+                ino,
+                ra: Mutex::new(RaState::new(self.config.ra_max_pages)),
+            }),
+        );
+        Fd(slot)
     }
 
     /// Resolves a descriptor.
     ///
     /// # Panics
     ///
-    /// Panics on a dangling descriptor — always a harness bug.
+    /// Panics on a dangling (closed or never-opened) descriptor — always a
+    /// harness bug.
     pub fn fd_entry(&self, fd: Fd) -> Arc<FdEntry> {
-        Arc::clone(&self.fds.read()[fd.0])
+        self.fds.get(fd.0 as u64).expect("dangling file descriptor")
     }
 
     /// Inode behind a descriptor.
@@ -333,10 +457,7 @@ impl Os {
         offset: u64,
         len: u64,
     ) -> ReadOutcome {
-        match self.read_charge_impl(clock, fd, offset, len, false) {
-            Ok(outcome) => outcome,
-            Err(_) => unreachable!("infallible read path cannot fault"),
-        }
+        into_ok(self.read_charge_impl::<NeverFault>(clock, fd, offset, len))
     }
 
     /// Fallible variant of [`Os::read_charge`]. Failure semantics: runs of
@@ -358,17 +479,16 @@ impl Os {
         offset: u64,
         len: u64,
     ) -> Result<ReadOutcome, IoError> {
-        self.read_charge_impl(clock, fd, offset, len, true)
+        self.read_charge_impl::<MayFault>(clock, fd, offset, len)
     }
 
-    fn read_charge_impl(
+    fn read_charge_impl<F: FaultMode>(
         &self,
         clock: &mut ThreadClock,
         fd: Fd,
         offset: u64,
         len: u64,
-        fallible: bool,
-    ) -> Result<ReadOutcome, IoError> {
+    ) -> Result<ReadOutcome, F::Error> {
         let costs = &self.config.costs;
         clock.advance(costs.syscall_ns);
         self.stats.syscalls.incr();
@@ -437,18 +557,11 @@ impl Os {
                 let t0 = clock.now();
                 let mut bypass_ok = true;
                 for run in self.fs.map_blocks(entry.ino, p0, pages) {
-                    if fallible {
-                        if self
-                            .device
-                            .try_charge_read(clock, run.blocks, IoPriority::Blocking)
-                            .is_err()
-                        {
-                            bypass_ok = false;
-                            break;
-                        }
-                    } else {
-                        self.device
-                            .charge_read(clock, run.blocks, IoPriority::Blocking);
+                    if F::charge_read(&self.device, clock, run.blocks, IoPriority::Blocking)
+                        .is_err()
+                    {
+                        bypass_ok = false;
+                        break;
                     }
                 }
                 if bypass_ok {
@@ -479,21 +592,14 @@ impl Os {
             let t0 = clock.now();
             let mut inserted = 0;
             let mut filled: Vec<(u64, u64)> = Vec::new();
-            let mut fault = None;
+            let mut fault: Option<F::Error> = None;
             'fill: for &(mstart, mend) in &missing {
                 for run in self.fs.map_blocks(entry.ino, mstart, mend - mstart) {
-                    if fallible {
-                        if self
-                            .device
-                            .try_charge_read(clock, run.blocks, IoPriority::Blocking)
-                            .is_err()
-                        {
-                            fault = Some(IoError::Io);
-                            break 'fill;
-                        }
-                    } else {
-                        self.device
-                            .charge_read(clock, run.blocks, IoPriority::Blocking);
+                    if let Err(err) =
+                        F::charge_read(&self.device, clock, run.blocks, IoPriority::Blocking)
+                    {
+                        fault = Some(err);
+                        break 'fill;
                     }
                 }
                 inserted += mend - mstart;
@@ -543,13 +649,10 @@ impl Os {
                     },
                 );
             }
-            if fallible {
-                // Kernel readahead is best-effort: a fault aborts the
-                // window silently, never the read that triggered it.
-                let _ = self.try_prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
-            } else {
-                self.prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
-            }
+            // Kernel readahead is best-effort: in fallible mode a fault
+            // aborts the window silently, never the read that triggered it.
+            let _ =
+                self.prefetch_via_tree_impl::<F>(clock, entry.ino, &cache, req.start, req.count);
         }
 
         Ok(ReadOutcome {
@@ -572,10 +675,7 @@ impl Os {
         start: u64,
         count: u64,
     ) -> u64 {
-        match self.prefetch_via_tree_impl(clock, ino, cache, start, count, false) {
-            Ok(newly) => newly,
-            Err(_) => unreachable!("infallible prefetch path cannot fault"),
-        }
+        into_ok(self.prefetch_via_tree_impl::<NeverFault>(clock, ino, cache, start, count))
     }
 
     /// Fallible baseline prefetch, all-or-nothing: on an injected fault
@@ -594,18 +694,17 @@ impl Os {
         start: u64,
         count: u64,
     ) -> Result<u64, IoError> {
-        self.prefetch_via_tree_impl(clock, ino, cache, start, count, true)
+        self.prefetch_via_tree_impl::<MayFault>(clock, ino, cache, start, count)
     }
 
-    fn prefetch_via_tree_impl(
+    fn prefetch_via_tree_impl<F: FaultMode>(
         &self,
         clock: &mut ThreadClock,
         ino: InodeId,
         cache: &InodeCache,
         start: u64,
         count: u64,
-        fallible: bool,
-    ) -> Result<u64, IoError> {
+    ) -> Result<u64, F::Error> {
         let costs = &self.config.costs;
         let file_pages = self.fs.size(ino).div_ceil(PAGE_SIZE);
         let end = (start + count).min(file_pages);
@@ -634,16 +733,12 @@ impl Os {
                 let upto = (cursor + chunk_pages).min(mend);
                 let before = io_clock.now();
                 for run in self.fs.map_blocks(ino, cursor, upto - cursor) {
-                    if fallible {
-                        self.device.try_charge_read(
-                            &mut io_clock,
-                            run.blocks,
-                            IoPriority::Prefetch,
-                        )?;
-                    } else {
-                        self.device
-                            .charge_read(&mut io_clock, run.blocks, IoPriority::Prefetch);
-                    }
+                    F::charge_read(
+                        &self.device,
+                        &mut io_clock,
+                        run.blocks,
+                        IoPriority::Prefetch,
+                    )?;
                 }
                 crate::crossos::push_interpolated_ready(
                     &mut chunk_ready,

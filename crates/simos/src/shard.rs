@@ -1,0 +1,320 @@
+//! Fixed N-way sharded registries with per-shard lock-wait accounting.
+//!
+//! Both layers keep global key→object registries on their hot paths: the
+//! OS maps inodes to [`crate::cache::InodeCache`] objects and descriptors
+//! to fd entries, and CROSS-LIB maps inodes to its per-file state. A
+//! single `RwLock` over each registry serializes unrelated files the
+//! moment many threads open/close concurrently — exactly the coarse
+//! locking the paper's fine-grained per-inode design argues against.
+//! [`ShardedMap`] replaces those single locks with a fixed power-free
+//! `key % N` split, so traffic to distinct files contends only within a
+//! shard.
+//!
+//! Accounting deliberately measures *wall-clock* nanoseconds and only on
+//! *contended* acquisitions (a failed `try_lock` followed by a blocking
+//! acquire). Registry locks are real synchronization, not simulated
+//! resources: charging them virtual time would perturb the deterministic
+//! timeline, and an uncontended acquire has nothing worth recording.
+//! Single-threaded runs therefore always report zero — which is what
+//! keeps same-seed telemetry byte-identical regardless of shard count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Per-shard wait/contention tallies snapshotted from a [`ShardedMap`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Wall-clock nanoseconds spent blocked on each shard's lock
+    /// (contended acquisitions only).
+    pub per_shard_wait_ns: Vec<u64>,
+    /// Contended acquisitions per shard.
+    pub per_shard_contended: Vec<u64>,
+}
+
+impl RegistryStats {
+    /// Number of shards in the registry.
+    pub fn shards(&self) -> usize {
+        self.per_shard_wait_ns.len()
+    }
+
+    /// Total wall-clock wait across all shards.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.per_shard_wait_ns.iter().sum()
+    }
+
+    /// Total contended acquisitions across all shards.
+    pub fn total_contended(&self) -> u64 {
+        self.per_shard_contended.iter().sum()
+    }
+
+    /// Interval accounting: `self - earlier`, element-wise and saturating.
+    /// Mismatched shard counts (a reconfigured registry) fall back to
+    /// `self` unchanged.
+    pub fn delta(&self, earlier: &RegistryStats) -> RegistryStats {
+        if self.shards() != earlier.shards() {
+            return self.clone();
+        }
+        RegistryStats {
+            per_shard_wait_ns: self
+                .per_shard_wait_ns
+                .iter()
+                .zip(&earlier.per_shard_wait_ns)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            per_shard_contended: self
+                .per_shard_contended
+                .iter()
+                .zip(&earlier.per_shard_contended)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shard<V> {
+    map: RwLock<HashMap<u64, V>>,
+    wait_ns: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl<V> Shard<V> {
+    fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            wait_ns: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, HashMap<u64, V>> {
+        if let Some(guard) = self.map.try_read() {
+            return guard;
+        }
+        let start = Instant::now();
+        let guard = self.map.read();
+        self.note_wait(start);
+        guard
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, HashMap<u64, V>> {
+        if let Some(guard) = self.map.try_write() {
+            return guard;
+        }
+        let start = Instant::now();
+        let guard = self.map.write();
+        self.note_wait(start);
+        guard
+    }
+
+    fn note_wait(&self, start: Instant) {
+        self.wait_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.contended.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// An N-way sharded `u64 → V` map.
+///
+/// Keys route to shard `key % N`; N is fixed at construction. Iteration
+/// helpers return key-sorted snapshots so callers observe a deterministic
+/// order independent of both shard count and `HashMap` hashing.
+#[derive(Debug)]
+pub struct ShardedMap<V> {
+    shards: Box<[Shard<V>]>,
+}
+
+impl<V: Clone> ShardedMap<V> {
+    /// A map with `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: u64) -> &Shard<V> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shard(key).read().get(&key).cloned()
+    }
+
+    /// Looks up `key`, inserting `make()` under the shard's write lock if
+    /// absent (double-checked, so racing inserters agree on one value).
+    pub fn get_or_insert_with(&self, key: u64, make: impl FnOnce() -> V) -> V {
+        let shard = self.shard(key);
+        if let Some(value) = shard.read().get(&key) {
+            return value.clone();
+        }
+        let mut map = shard.write();
+        map.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Inserts `value` at `key`, returning any displaced value.
+    pub fn insert(&self, key: u64, value: V) -> Option<V> {
+        self.shard(key).write().insert(key, value)
+    }
+
+    /// Removes `key`, returning the value if present.
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.shard(key).write().remove(&key)
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Key-sorted snapshot of every entry.
+    pub fn entries_sorted(&self) -> Vec<(u64, V)> {
+        let mut entries: Vec<(u64, V)> = Vec::new();
+        for shard in self.shards.iter() {
+            let map = shard.read();
+            entries.extend(map.iter().map(|(k, v)| (*k, v.clone())));
+        }
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Key-sorted snapshot of every value.
+    pub fn values_sorted(&self) -> Vec<V> {
+        self.entries_sorted().into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Current per-shard wait/contention tallies.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            per_shard_wait_ns: self
+                .shards
+                .iter()
+                .map(|s| s.wait_ns.load(Ordering::Relaxed))
+                .collect(),
+            per_shard_contended: self
+                .shards
+                .iter()
+                .map(|s| s.contended.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_keys_and_round_trips() {
+        let map = ShardedMap::new(4);
+        assert!(map.is_empty());
+        for key in 0..32u64 {
+            assert_eq!(map.insert(key, key * 10), None);
+        }
+        assert_eq!(map.len(), 32);
+        assert_eq!(map.get(7), Some(70));
+        assert_eq!(map.remove(7), Some(70));
+        assert_eq!(map.get(7), None);
+        assert_eq!(map.len(), 31);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let map = ShardedMap::new(0);
+        assert_eq!(map.shard_count(), 1);
+        map.insert(3, "x");
+        assert_eq!(map.get(3), Some("x"));
+    }
+
+    #[test]
+    fn get_or_insert_builds_once() {
+        let map = ShardedMap::new(2);
+        let mut built = 0;
+        map.get_or_insert_with(5, || {
+            built += 1;
+            "a"
+        });
+        map.get_or_insert_with(5, || {
+            built += 1;
+            "b"
+        });
+        assert_eq!(built, 1);
+        assert_eq!(map.get(5), Some("a"));
+    }
+
+    #[test]
+    fn iteration_is_key_sorted_regardless_of_shards() {
+        for shards in [1, 3, 16] {
+            let map = ShardedMap::new(shards);
+            for key in [9u64, 2, 31, 4, 17] {
+                map.insert(key, key);
+            }
+            let keys: Vec<u64> = map.entries_sorted().iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, vec![2, 4, 9, 17, 31]);
+        }
+    }
+
+    #[test]
+    fn uncontended_use_records_no_wait() {
+        let map = ShardedMap::new(8);
+        for key in 0..64u64 {
+            map.insert(key, key);
+            map.get(key);
+        }
+        let stats = map.stats();
+        assert_eq!(stats.shards(), 8);
+        assert_eq!(stats.total_wait_ns(), 0);
+        assert_eq!(stats.total_contended(), 0);
+    }
+
+    #[test]
+    fn stats_delta_saturates() {
+        let a = RegistryStats {
+            per_shard_wait_ns: vec![10, 20],
+            per_shard_contended: vec![1, 2],
+        };
+        let b = RegistryStats {
+            per_shard_wait_ns: vec![15, 18],
+            per_shard_contended: vec![3, 1],
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.per_shard_wait_ns, vec![5, 0]);
+        assert_eq!(d.per_shard_contended, vec![2, 0]);
+    }
+
+    #[test]
+    fn concurrent_inserts_across_shards() {
+        use std::sync::Arc;
+        let map = Arc::new(ShardedMap::new(4));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let key = t * 1000 + i;
+                        map.insert(key, key);
+                        assert_eq!(map.get(key), Some(key));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(map.len(), 800);
+    }
+}
