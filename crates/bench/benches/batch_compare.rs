@@ -1,0 +1,129 @@
+//! Batched vs unbatched prefetch submission across the Table 2
+//! mechanisms (plus the `APPonly[fincore]` strawman).
+//!
+//! A sequential 16 KiB-read microbench runs twice per mechanism — once
+//! with `batch_submit` off (the paper-default per-run crossings) and once
+//! on (the SQ/CQ vectored path) — and the harness compares prefetch
+//! submission crossings, pages initiated, cache-hit ratio, and virtual
+//! elapsed time. With `CP_BENCH_TELEMETRY_DIR` set, each cell writes a
+//! `BENCH_batch_<mechanism>_{on,off}.json` telemetry sidecar.
+//!
+//! Acceptance gate: on `CrossP[+predict]` (cache visibility without
+//! relaxed limits, so one planned window is many `readahead_info`
+//! crossings), batching must initiate at least as many pages with at
+//! least 2x fewer submission crossings at an equal-or-better hit ratio.
+//! The harness exits nonzero otherwise.
+
+use std::sync::Arc;
+
+use cp_bench::{banner, boot, telemetry_sidecar, TablePrinter};
+use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport};
+use simclock::NS_PER_MS;
+
+struct Cell {
+    /// Prefetch submission crossings (`ra_info`/`ra`/`ra_batch` calls).
+    submissions: u64,
+    pages_initiated: u64,
+    hit_ratio: f64,
+    elapsed_ms: f64,
+    batches: u64,
+    crossings_saved: u64,
+}
+
+fn run(mode: Mode, batch: bool) -> Cell {
+    let os = boot(64);
+    let mut config = RuntimeConfig::new(mode);
+    config.batch_submit = batch;
+    let rt = Runtime::new(Arc::clone(&os), config);
+    let mut clock = rt.new_clock();
+    let file = rt
+        .create_sized(&mut clock, "/bench/seq.bin", 96 << 20)
+        .expect("create");
+    let chunk = 16 * 1024u64;
+    let start = clock.now();
+    for i in 0..1536u64 {
+        file.read_charge(&mut clock, i * chunk, chunk);
+    }
+    rt.flush_prefetch_batches(&mut clock);
+    let elapsed_ms = (clock.now() - start) as f64 / NS_PER_MS as f64;
+    let stats = rt.os().stats();
+    let cell = Cell {
+        submissions: stats.ra_info_calls.get() + stats.ra_calls.get() + stats.ra_batch_calls.get(),
+        pages_initiated: rt.stats().pages_initiated.get(),
+        hit_ratio: RuntimeReport::collect(&rt).hit_ratio,
+        elapsed_ms,
+        batches: rt.stats().batches_flushed.get(),
+        crossings_saved: rt.stats().batch_crossings_saved.get(),
+    };
+    telemetry_sidecar(
+        &format!(
+            "batch_{}_{}",
+            mode.label(),
+            if batch { "on" } else { "off" }
+        ),
+        &rt,
+    );
+    cell
+}
+
+fn main() {
+    banner(
+        "batch_compare",
+        "batched (SQ/CQ) vs unbatched prefetch submission, sequential 16 KiB reads",
+        "batching folds per-window readahead_info crossings into one vectored call; off-path is byte-identical",
+    );
+    let mechanisms = [
+        Mode::AppOnly,
+        Mode::OsOnly,
+        Mode::Predict,
+        Mode::PredictOpt,
+        Mode::FetchAllOpt,
+        Mode::FincoreApp,
+    ];
+    let mut table = TablePrinter::new([
+        "mechanism",
+        "submit off/on",
+        "pages off/on",
+        "hit% off/on",
+        "ms off/on",
+        "batches",
+        "saved",
+    ]);
+    let mut gate_ok = true;
+    for mode in mechanisms {
+        let off = run(mode, false);
+        let on = run(mode, true);
+        table.row([
+            mode.label().to_string(),
+            format!("{}/{}", off.submissions, on.submissions),
+            format!("{}/{}", off.pages_initiated, on.pages_initiated),
+            format!("{:.1}/{:.1}", off.hit_ratio * 100.0, on.hit_ratio * 100.0),
+            format!("{:.2}/{:.2}", off.elapsed_ms, on.elapsed_ms),
+            format!("{}", on.batches),
+            format!("{}", on.crossings_saved),
+        ]);
+        if mode == Mode::Predict {
+            let pages_ok = on.pages_initiated >= off.pages_initiated;
+            let crossings_ok = on.submissions * 2 <= off.submissions;
+            let hits_ok = on.hit_ratio >= off.hit_ratio - 0.01;
+            if !(pages_ok && crossings_ok && hits_ok) {
+                gate_ok = false;
+                eprintln!(
+                    "ACCEPTANCE FAIL ({}): pages {}->{}, submissions {}->{}, hit {:.3}->{:.3}",
+                    mode.label(),
+                    off.pages_initiated,
+                    on.pages_initiated,
+                    off.submissions,
+                    on.submissions,
+                    off.hit_ratio,
+                    on.hit_ratio,
+                );
+            }
+        }
+    }
+    table.print();
+    if !gate_ok {
+        std::process::exit(1);
+    }
+    println!("\nacceptance: Predict batched >=2x fewer submissions at page/hit parity — ok");
+}

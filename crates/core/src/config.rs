@@ -147,6 +147,23 @@ pub struct RuntimeConfig {
     /// changes the syscall count and therefore the virtual timeline, so
     /// it is an opt-in optimisation, not a behaviour-preserving default.
     pub coalesce_prefetch: bool,
+    /// Batched prefetch submission (the SQ/CQ path): planned prefetch
+    /// runs accumulate in a bounded per-worker submission queue and are
+    /// handed to the OS as one vectored `readahead_info`-style call that
+    /// charges a *single* syscall crossing per batch and merges adjacent
+    /// runs per inode. Requires cache visibility (blind `readahead(2)`
+    /// has no vectored form); ignored on modes without it. Default off:
+    /// batching changes syscall counts, crossing costs, and therefore the
+    /// virtual timeline — with it off, every new code path is bypassed
+    /// and telemetry is byte-identical to the unbatched runtime.
+    pub batch_submit: bool,
+    /// Entries per submission batch before a size flush
+    /// ([`crate::worker::FlushReason::Full`]).
+    pub batch_max_runs: usize,
+    /// Virtual-time deadline after which an open batch flushes even when
+    /// not full ([`crate::worker::FlushReason::Deadline`]) — bounds the
+    /// staging latency a run can add to a prefetch.
+    pub batch_deadline_ns: u64,
 }
 
 impl RuntimeConfig {
@@ -170,6 +187,9 @@ impl RuntimeConfig {
             prefetch_retry_backoff_ns: 100 * simclock::NS_PER_US,
             registry_shards: 0,
             coalesce_prefetch: false,
+            batch_submit: false,
+            batch_max_runs: 8,
+            batch_deadline_ns: 50 * simclock::NS_PER_US,
         }
     }
 

@@ -71,10 +71,11 @@ pub use runtime::{CpFile, LibFile, Runtime};
 pub use stats::LibStats;
 pub use telemetry::{RuntimeReport, TELEMETRY_SCHEMA_VERSION};
 pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
+pub use worker::FlushReason;
 
 // One coherent import surface for workloads and benches.
 pub use simos::{
     Advice, Device, DeviceConfig, DeviceError, FaultPlan, Fd, FileSystem, FsError, FsKind, InodeId,
-    IoError, MmapOutcome, Os, OsConfig, RaInfo, RaInfoRequest, ReadOutcome, RegistryStats,
-    PAGE_SIZE,
+    IoError, MmapOutcome, Os, OsConfig, RaBatchCompletion, RaBatchEntry, RaInfo, RaInfoRequest,
+    ReadOutcome, RegistryStats, PAGE_SIZE,
 };

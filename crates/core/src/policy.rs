@@ -56,6 +56,11 @@ pub struct Policy {
     pub scope: LockScope,
     /// Post-read hooks, in execution order.
     pub post_read: Vec<PostReadHook>,
+    /// Batched prefetch submission: accumulate planned runs and submit
+    /// them as one vectored crossing. Requires cache visibility — the
+    /// vectored call is a `readahead_info` extension — so the flag is the
+    /// config knob ANDed with the visibility feature.
+    pub batch_submit: bool,
 }
 
 impl Policy {
@@ -91,6 +96,7 @@ impl Policy {
             open_action,
             scope,
             post_read,
+            batch_submit: features.visibility && config.batch_submit,
         }
     }
 }
@@ -165,6 +171,23 @@ mod tests {
         assert!(policy.intercept);
         assert!(!policy.silence_heuristic_ra);
         assert_eq!(policy.post_read, vec![PostReadHook::FincorePoll]);
+    }
+
+    #[test]
+    fn batch_submit_requires_visibility() {
+        // Off by default everywhere.
+        for mode in Mode::table2() {
+            assert!(!Policy::for_config(&RuntimeConfig::new(mode)).batch_submit);
+        }
+        // On + visibility: enabled.
+        let mut config = RuntimeConfig::new(Mode::PredictOpt);
+        config.batch_submit = true;
+        assert!(Policy::for_config(&config).batch_submit);
+        // On without visibility (no vectored form for blind readahead):
+        // stays off.
+        let mut blind = RuntimeConfig::new(Mode::OsOnly);
+        blind.batch_submit = true;
+        assert!(!Policy::for_config(&blind).batch_submit);
     }
 
     #[test]

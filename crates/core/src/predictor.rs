@@ -123,6 +123,10 @@ pub struct Predictor {
     bits: u32,
     counter: u32,
     prev_end: Option<u64>,
+    /// Start page of the previous access — direction voting compares
+    /// against where the previous access *began*, because near page 0 a
+    /// clamp on `prev_end - count` misreads a backward run as a reversal.
+    prev_start: Option<u64>,
     /// Steady-state damping: skip this many updates.
     skip: u32,
     /// Aggressive-mode growth window (pages), doubling while saturated.
@@ -150,6 +154,7 @@ impl Predictor {
             bits,
             counter: 0,
             prev_end: None,
+            prev_start: None,
             skip: 0,
             aggressive_window: 0,
             dir_score: 0,
@@ -202,21 +207,27 @@ impl Predictor {
         max_pages: u64,
     ) -> Prediction {
         let end = page + count;
-        let sequentialish = match self.prev_end {
+        let before_end = self.prev_end;
+        let before_start = self.prev_start;
+        let sequentialish = match before_end {
             None => true, // optimistic-at-open (§4.6)
             Some(prev) => page + SEQ_BATCH_PAGES >= prev && page <= prev + SEQ_BATCH_PAGES,
         };
-        if let Some(prev) = self.prev_end {
+        if let (Some(pend), Some(pstart)) = (before_end, before_start) {
             // Direction voting: a backward-adjacent access (this access
             // ends where the previous one started, give or take the batch
-            // window) pushes the score negative.
-            if end <= prev.saturating_sub(count) + SEQ_BATCH_PAGES && page < prev {
+            // window) pushes the score negative. The comparison anchors on
+            // the previous access's *start*: subtracting `count` from the
+            // previous end clamps at page 0 and misclassified a backward
+            // run that reaches the front of the file as a reversal.
+            if end <= pstart.saturating_add(SEQ_BATCH_PAGES) && page < pstart {
                 self.dir_score = (self.dir_score - 1).max(-8);
-            } else if page >= prev.saturating_sub(SEQ_BATCH_PAGES) {
+            } else if page >= pend.saturating_sub(SEQ_BATCH_PAGES) {
                 self.dir_score = (self.dir_score + 1).min(8);
             }
         }
         self.prev_end = Some(end);
+        self.prev_start = Some(page);
 
         // Run-length tracking for fine-grained speculation capping.
         if sequentialish {
@@ -247,9 +258,11 @@ impl Predictor {
                     self.skip = self.bits; // steady sequential: damp updates
                 }
             } else {
-                // Far jumps fall harder than near ones.
-                let prev = self.prev_end.unwrap_or(0);
-                let distance = page.abs_diff(prev);
+                // Far jumps fall harder than near ones. Measured from the
+                // *previous* access's end (captured before it was
+                // overwritten above — the stale read made every jump look
+                // `count` pages long, so far jumps never fell faster).
+                let distance = before_end.map_or(0, |prev| page.abs_diff(prev));
                 let drop = if distance > 8 * SEQ_BATCH_PAGES { 2 } else { 1 };
                 if self.counter == 0 {
                     self.skip = self.bits; // steady random: damp updates
@@ -315,6 +328,7 @@ impl Predictor {
     pub fn reset(&mut self) {
         self.counter = 0;
         self.prev_end = None;
+        self.prev_start = None;
         self.skip = 0;
         self.aggressive_window = 0;
         self.dir_score = 0;

@@ -293,6 +293,9 @@ impl CpFile {
         if let Some(pred) = ctx.prediction.take() {
             self.paced_prefetch(clock, pred, ctx.p0, ctx.p1);
         }
+        // Batched submission: expired batches ride the next intercepted
+        // read. One relaxed load when nothing is due (or batching is off).
+        self.runtime.flush_due_batches(clock);
         ctx.close_stage(self, PipelineStage::PrefetchPlan, clock.now());
     }
 

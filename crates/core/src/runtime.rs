@@ -8,7 +8,8 @@ use parking_lot::Mutex;
 use simclock::ThreadClock;
 use simos::shard::{RegistryStats, ShardedMap};
 use simos::{
-    Advice, Fd, FsError, InodeId, IoError, MmapOutcome, Os, RaInfoRequest, ReadOutcome, PAGE_SIZE,
+    Advice, Fd, FsError, InodeId, IoError, MmapOutcome, Os, RaBatchEntry, RaInfoRequest,
+    ReadOutcome, PAGE_SIZE,
 };
 
 use crate::config::{Features, Mode, RuntimeConfig};
@@ -18,7 +19,18 @@ use crate::predictor::Predictor;
 use crate::range_tree::{LockScope, RangeTree};
 use crate::stats::LibStats;
 use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
-use crate::worker::WorkerPool;
+use crate::worker::{FlushReason, SubmissionQueue, WorkerPool};
+
+/// One staged prefetch run awaiting batched submission: a limit-sized
+/// sub-range of a planned prefetch, carrying everything the worker needs
+/// to build its [`RaBatchEntry`] at flush time.
+#[derive(Debug)]
+struct BatchedRun {
+    file: Arc<LibFile>,
+    start: u64,
+    end: u64,
+    relax: bool,
+}
 
 /// Per-file (per-inode) runtime state, shared by every descriptor opened on
 /// the file — the userspace mirror of the kernel's per-inode bitmap.
@@ -92,6 +104,10 @@ pub(crate) struct RuntimeInner {
     /// files' opens never serialize on one registry lock.
     files: ShardedMap<Arc<LibFile>>,
     pub(crate) workers: WorkerPool,
+    /// Staged prefetch runs awaiting batched submission (one slot per
+    /// worker). Only consulted when [`Policy::batch_submit`] is on; with
+    /// batching off no entry is ever pushed and the queue is inert.
+    batch_queue: SubmissionQueue<BatchedRun>,
     pub(crate) stats: LibStats,
     /// Last time (virtual ns) the memory watcher scanned candidates —
     /// bounds the eviction scan to once per watcher interval.
@@ -122,6 +138,11 @@ impl Runtime {
         let policy = Policy::for_config(&config);
         let shards = config.effective_registry_shards();
         let workers = WorkerPool::new(config.workers.max(1), Arc::clone(os.global()));
+        let batch_queue = SubmissionQueue::new(
+            config.workers.max(1),
+            config.batch_max_runs,
+            config.batch_deadline_ns,
+        );
         let trace = Arc::new(TraceLog::default());
         // Bridge kernel-side decisions (readahead_info, RA window growth,
         // reclaim) into the same trace log. First runtime attached wins.
@@ -133,6 +154,7 @@ impl Runtime {
                 policy,
                 files: ShardedMap::new(shards),
                 workers,
+                batch_queue,
                 stats: LibStats::default(),
                 last_evict_scan_ns: AtomicU64::new(0),
                 last_evicted_pages: AtomicU64::new(0),
@@ -405,6 +427,15 @@ impl Runtime {
         inner.stats.pages_requested.add(total);
         clock.advance(costs.lock_op_ns); // enqueue
 
+        // Batched path: stage limit-sized runs in the submission queue and
+        // return; a full or expired slot flushes as one vectored crossing.
+        // Degradation falls back to the per-run path below — blind
+        // `readahead(2)` has no vectored form.
+        if inner.policy.batch_submit && !inner.degraded.load(Ordering::Relaxed) {
+            self.enqueue_batched(clock, file, &missing, inner.policy.features.relax_limits);
+            return end;
+        }
+
         let runtime = self.clone();
         let file = Arc::clone(file);
         let relax = inner.policy.features.relax_limits;
@@ -475,6 +506,200 @@ impl Runtime {
             }
         }
         out
+    }
+
+    /// Batching half of [`Runtime::prefetch_pages`]: splits the missing
+    /// runs into limit-sized entries — so batched and unbatched
+    /// submissions initiate identical page counts, only the crossing count
+    /// differs — and stages them in the submission queue. A push that
+    /// fills the slot or finds it past its deadline flushes inline.
+    fn enqueue_batched(
+        &self,
+        clock: &mut ThreadClock,
+        file: &Arc<LibFile>,
+        missing: &[(u64, u64)],
+        relax: bool,
+    ) {
+        let inner = &self.inner;
+        let cap = if relax {
+            inner.config.max_prefetch_pages.max(1)
+        } else {
+            inner.os.config().ra_max_pages.max(1)
+        };
+        let now = clock.now();
+        let slot = inner.workers.least_loaded(now);
+        for &(start, end) in missing {
+            let mut cursor = start;
+            while cursor < end {
+                let upto = (cursor + cap).min(end);
+                let run = BatchedRun {
+                    file: Arc::clone(file),
+                    start: cursor,
+                    end: upto,
+                    relax,
+                };
+                if let Some((batch, reason)) = inner.batch_queue.push(slot, now, run) {
+                    self.flush_batch(clock, slot, batch, reason);
+                }
+                cursor = upto;
+            }
+        }
+    }
+
+    /// Flushes batches whose virtual-time deadline has passed. Called from
+    /// the read path's prefetch-plan stage; the common case is one relaxed
+    /// load of the deadline hint and an immediate return.
+    pub(crate) fn flush_due_batches(&self, clock: &mut ThreadClock) {
+        let inner = &self.inner;
+        if !inner.policy.batch_submit || clock.now() < inner.batch_queue.next_deadline_ns() {
+            return;
+        }
+        for (slot, batch) in inner.batch_queue.drain_due(clock.now()) {
+            self.flush_batch(clock, slot, batch, FlushReason::Deadline);
+        }
+    }
+
+    /// Drains every staged prefetch batch regardless of age (the
+    /// [`FlushReason::Explicit`] path). Benches and workloads call this at
+    /// measurement boundaries so no planned prefetch is left staged; a
+    /// no-op when batching is off.
+    pub fn flush_prefetch_batches(&self, clock: &mut ThreadClock) {
+        let inner = &self.inner;
+        if !inner.policy.batch_submit {
+            return;
+        }
+        for (slot, batch) in inner.batch_queue.drain_all() {
+            self.flush_batch(clock, slot, batch, FlushReason::Explicit);
+        }
+    }
+
+    /// Hands one staged batch to its worker as a single vectored crossing.
+    fn flush_batch(
+        &self,
+        clock: &mut ThreadClock,
+        slot: usize,
+        batch: Vec<BatchedRun>,
+        reason: FlushReason,
+    ) {
+        let inner = &self.inner;
+        if batch.is_empty() {
+            return;
+        }
+        let runs = batch.len() as u64;
+        let pages: u64 = batch.iter().map(|r| r.end - r.start).sum();
+        inner.stats.batches_flushed.incr();
+        match reason {
+            FlushReason::Full => inner.stats.batch_flush_full.incr(),
+            FlushReason::Deadline => inner.stats.batch_flush_deadline.incr(),
+            FlushReason::Explicit => inner.stats.batch_flush_explicit.incr(),
+        }
+        inner.stats.batch_runs_submitted.add(runs);
+        inner.stats.batch_crossings_saved.add(runs - 1);
+        inner.metrics.batch_occupancy.record(runs);
+        inner.trace.emit(
+            clock.now(),
+            TraceEventKind::BatchFlushed {
+                runs,
+                pages,
+                reason,
+            },
+        );
+        let runtime = self.clone();
+        let est_ns = inner.os.config().costs.syscall_ns;
+        let dispatch = inner
+            .workers
+            .dispatch_on(slot, clock.now(), est_ns, move |wclock| {
+                runtime.issue_prefetch_batch(wclock, batch);
+            });
+        inner
+            .metrics
+            .worker_queue_ns
+            .record(dispatch.queue_wait_ns());
+        inner.metrics.prefetch_ns.record(dispatch.latency_ns());
+    }
+
+    /// Worker half of the batched path: one vectored syscall covers the
+    /// whole batch, then completions are handled per entry. A transiently
+    /// failed merged run falls back to the unbatched retry ladder for each
+    /// of its entries (the batch submission counts as their first
+    /// attempt); an `Unsupported` kernel flips the one-way degradation
+    /// latch and re-issues every staged run through the unbatched path,
+    /// which then goes blind.
+    fn issue_prefetch_batch(&self, clock: &mut ThreadClock, batch: Vec<BatchedRun>) {
+        let inner = &self.inner;
+        let costs = &inner.os.config().costs;
+        let os_cap = inner.os.config().ra_max_pages;
+        let max_pages = inner.config.max_prefetch_pages;
+        let entries: Vec<RaBatchEntry> = batch
+            .iter()
+            .map(|run| {
+                RaBatchEntry::new(
+                    run.file.prefetch_fd,
+                    run.start * PAGE_SIZE,
+                    (run.end - run.start) * PAGE_SIZE,
+                )
+                .with_limit_pages(if run.relax {
+                    run.end - run.start
+                } else {
+                    os_cap
+                })
+            })
+            .collect();
+        match inner.os.try_readahead_batch(clock, &entries) {
+            Ok(completions) => {
+                for (run, done) in batch.iter().zip(&completions) {
+                    if done.merged {
+                        inner.stats.batch_runs_merged.incr();
+                    }
+                    if done.error.is_some() {
+                        inner.stats.prefetch_retries.incr();
+                        inner.trace.emit(
+                            clock.now(),
+                            TraceEventKind::PrefetchRetry {
+                                ino: run.file.ino,
+                                start_page: run.start,
+                                pages: run.end - run.start,
+                                attempt: 1,
+                            },
+                        );
+                        clock.advance(inner.config.prefetch_retry_backoff_ns.max(1));
+                        self.issue_prefetch(
+                            clock,
+                            &run.file,
+                            &[(run.start, run.end)],
+                            run.relax,
+                            true,
+                            max_pages,
+                        );
+                        continue;
+                    }
+                    inner.stats.pages_initiated.add(done.initiated_pages);
+                    run.file
+                        .tree
+                        .mark_cached(clock, costs, self.scope(), run.start, run.end);
+                }
+            }
+            Err(_) => {
+                if !inner.degraded.swap(true, Ordering::Relaxed) {
+                    if let Some(run) = batch.first() {
+                        inner.trace.emit(
+                            clock.now(),
+                            TraceEventKind::VisibilityDowngraded { ino: run.file.ino },
+                        );
+                    }
+                }
+                for run in &batch {
+                    self.issue_prefetch(
+                        clock,
+                        &run.file,
+                        &[(run.start, run.end)],
+                        run.relax,
+                        true,
+                        max_pages,
+                    );
+                }
+            }
+        }
     }
 
     /// Worker half: actually issue the prefetch syscalls.
@@ -653,18 +878,24 @@ impl Runtime {
             if resident == 0 {
                 continue;
             }
-            inner
+            // Charge what the fadvise actually dropped, not the residency
+            // snapshot above: OS reclaim can race between the snapshot and
+            // the advice call, and the snapshot would over-count.
+            let dropped = inner
                 .os
                 .fadvise(clock, file.prefetch_fd, Advice::DontNeed, 0, u64::MAX);
             let cleared = file.tree.clear(clock, costs, self.scope());
             let _ = cleared;
+            if dropped == 0 {
+                continue;
+            }
             inner.stats.files_evicted.incr();
-            inner.stats.pages_evicted.add(resident);
+            inner.stats.pages_evicted.add(dropped);
             inner.trace.emit(
                 clock.now(),
                 TraceEventKind::LibEvict {
                     ino: file.ino,
-                    pages: resident,
+                    pages: dropped,
                 },
             );
         }
@@ -677,6 +908,9 @@ impl Runtime {
     /// simulating the paper's fresh-process runs (a freshly-linked
     /// CROSS-LIB starts with no imported bitmaps).
     pub fn drop_cache_view(&self, clock: &mut ThreadClock) {
+        // Staged-but-unflushed batch entries die with the view: they were
+        // planned against the imported bitmaps being dropped.
+        let _ = self.inner.batch_queue.drain_all();
         let costs = &self.inner.os.config().costs;
         for file in self.inner.inner_files() {
             file.tree.clear(clock, costs, self.scope());

@@ -44,6 +44,25 @@ pub struct LibStats {
     /// ([`crate::RuntimeConfig::coalesce_prefetch`]); each merge is one
     /// saved syscall-bearing submission.
     pub prefetch_runs_coalesced: Counter,
+    /// Submission batches flushed to the vectored OS path
+    /// ([`crate::RuntimeConfig::batch_submit`]).
+    pub batches_flushed: Counter,
+    /// Batches flushed because they reached `batch_max_runs`.
+    pub batch_flush_full: Counter,
+    /// Batches flushed by the `batch_deadline_ns` virtual-time deadline.
+    pub batch_flush_deadline: Counter,
+    /// Batches flushed explicitly (drain points: shutdown, cache drops,
+    /// [`crate::Runtime::flush_prefetch_batches`]).
+    pub batch_flush_explicit: Counter,
+    /// Prefetch runs submitted through batches (entries across all
+    /// flushes).
+    pub batch_runs_submitted: Counter,
+    /// Batched runs the OS merged into an adjacent run of the same inode
+    /// before hitting the device.
+    pub batch_runs_merged: Counter,
+    /// Syscall crossings batching avoided: for a flush of N entries,
+    /// N-1 crossings the unbatched path would have paid.
+    pub batch_crossings_saved: Counter,
 }
 
 impl LibStats {

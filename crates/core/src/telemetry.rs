@@ -97,6 +97,24 @@ pub struct RuntimeReport {
     pub os_reclaim_scan: HistogramSnapshot,
     /// Adjacent prefetch runs merged by opt-in submission coalescing.
     pub prefetch_runs_coalesced: u64,
+    /// Submission batches flushed to the vectored OS path.
+    pub batches_flushed: u64,
+    /// Batches flushed for reaching their entry capacity.
+    pub batch_flush_full: u64,
+    /// Batches flushed by the virtual-time deadline.
+    pub batch_flush_deadline: u64,
+    /// Batches flushed by an explicit drain.
+    pub batch_flush_explicit: u64,
+    /// Prefetch runs submitted through batches.
+    pub batch_runs_submitted: u64,
+    /// Batched runs the OS merged into an adjacent run before the device.
+    pub batch_runs_merged: u64,
+    /// Syscall crossings batching avoided (entries minus one, per flush).
+    pub batch_crossings_saved: u64,
+    /// Vectored `readahead_batch` calls the OS served.
+    pub ra_batch_calls: u64,
+    /// Entries per flushed batch (SQ occupancy at flush time).
+    pub batch_occupancy: HistogramSnapshot,
     /// Per-stage virtual-time cost of the staged read pipeline, in
     /// [`PipelineStage::all`] order as `(stage name, distribution)`.
     pub stage_latency: Vec<(&'static str, HistogramSnapshot)>,
@@ -153,6 +171,15 @@ impl RuntimeReport {
             evict_scan: metrics.evict_scan_ns.snapshot(),
             os_reclaim_scan: os.stats().reclaim_scan_hist.snapshot(),
             prefetch_runs_coalesced: stats.prefetch_runs_coalesced.get(),
+            batches_flushed: stats.batches_flushed.get(),
+            batch_flush_full: stats.batch_flush_full.get(),
+            batch_flush_deadline: stats.batch_flush_deadline.get(),
+            batch_flush_explicit: stats.batch_flush_explicit.get(),
+            batch_runs_submitted: stats.batch_runs_submitted.get(),
+            batch_runs_merged: stats.batch_runs_merged.get(),
+            batch_crossings_saved: stats.batch_crossings_saved.get(),
+            ra_batch_calls: os.stats().ra_batch_calls.get(),
+            batch_occupancy: metrics.batch_occupancy.snapshot(),
             stage_latency: PipelineStage::all()
                 .iter()
                 .map(|&stage| (stage.name(), metrics.stage_hist(stage).snapshot()))
@@ -247,6 +274,27 @@ impl RuntimeReport {
             prefetch_runs_coalesced: self
                 .prefetch_runs_coalesced
                 .saturating_sub(earlier.prefetch_runs_coalesced),
+            batches_flushed: self.batches_flushed.saturating_sub(earlier.batches_flushed),
+            batch_flush_full: self
+                .batch_flush_full
+                .saturating_sub(earlier.batch_flush_full),
+            batch_flush_deadline: self
+                .batch_flush_deadline
+                .saturating_sub(earlier.batch_flush_deadline),
+            batch_flush_explicit: self
+                .batch_flush_explicit
+                .saturating_sub(earlier.batch_flush_explicit),
+            batch_runs_submitted: self
+                .batch_runs_submitted
+                .saturating_sub(earlier.batch_runs_submitted),
+            batch_runs_merged: self
+                .batch_runs_merged
+                .saturating_sub(earlier.batch_runs_merged),
+            batch_crossings_saved: self
+                .batch_crossings_saved
+                .saturating_sub(earlier.batch_crossings_saved),
+            ra_batch_calls: self.ra_batch_calls.saturating_sub(earlier.ra_batch_calls),
+            batch_occupancy: self.batch_occupancy.delta(&earlier.batch_occupancy),
             stage_latency: self
                 .stage_latency
                 .iter()
@@ -351,6 +399,19 @@ impl RuntimeReport {
             "prefetch_runs_coalesced",
             self.prefetch_runs_coalesced,
         );
+        // Batched submission (all-zero when `batch_submit` is off, so the
+        // section's presence never depends on configuration).
+        out.push_str("\"batching\":{");
+        push_field(&mut out, "batches_flushed", self.batches_flushed);
+        push_field(&mut out, "flush_full", self.batch_flush_full);
+        push_field(&mut out, "flush_deadline", self.batch_flush_deadline);
+        push_field(&mut out, "flush_explicit", self.batch_flush_explicit);
+        push_field(&mut out, "runs_submitted", self.batch_runs_submitted);
+        push_field(&mut out, "runs_merged", self.batch_runs_merged);
+        push_field(&mut out, "crossings_saved", self.batch_crossings_saved);
+        push_field(&mut out, "ra_batch_calls", self.ra_batch_calls);
+        out.push_str(&json_hist("occupancy", &self.batch_occupancy));
+        out.push_str("},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
         // determinism checks across shard counts compare the prefix.
@@ -520,6 +581,19 @@ impl fmt::Display for RuntimeReport {
                 f,
                 "coalescing : {} prefetch runs merged before submission",
                 self.prefetch_runs_coalesced
+            )?;
+        }
+        if self.batches_flushed > 0 {
+            writeln!(
+                f,
+                "batching   : {} batches ({} runs, {} merged), {} crossings saved ({} full / {} deadline / {} explicit)",
+                self.batches_flushed,
+                self.batch_runs_submitted,
+                self.batch_runs_merged,
+                self.batch_crossings_saved,
+                self.batch_flush_full,
+                self.batch_flush_deadline,
+                self.batch_flush_explicit
             )?;
         }
         write!(f, "")

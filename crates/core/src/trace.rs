@@ -28,6 +28,7 @@ use simos::{InodeId, OsTraceEvent, OsTraceSink};
 
 use crate::metrics::ReadClass;
 use crate::predictor::AccessPattern;
+use crate::worker::FlushReason;
 
 /// Default ring capacity (events).
 pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
@@ -201,6 +202,15 @@ pub enum TraceEventKind {
         /// Pages covered.
         pages: u64,
     },
+    /// A submission batch was flushed to the vectored OS path.
+    BatchFlushed {
+        /// Entries the batch carried.
+        runs: u64,
+        /// Pages the entries covered.
+        pages: u64,
+        /// What triggered the flush.
+        reason: FlushReason,
+    },
 }
 
 impl TraceEventKind {
@@ -221,6 +231,7 @@ impl TraceEventKind {
             TraceEventKind::PrefetchAbandoned { .. } => "prefetch-abandoned",
             TraceEventKind::VisibilityDowngraded { .. } => "visibility-downgraded",
             TraceEventKind::ReadError { .. } => "read-error",
+            TraceEventKind::BatchFlushed { .. } => "batch-flushed",
         }
     }
 }
@@ -348,6 +359,13 @@ impl fmt::Display for TraceEvent {
                 start_page,
                 pages,
             } => write!(f, "ino={} pages={}+{}", ino.0, start_page, pages),
+            TraceEventKind::BatchFlushed {
+                runs,
+                pages,
+                reason,
+            } => {
+                write!(f, "runs={} pages={} reason={}", runs, pages, reason.name())
+            }
         }
     }
 }

@@ -4,17 +4,23 @@
 //!
 //! Workers are modeled as virtual-time FCFS servers rather than real OS
 //! threads: an application thread pays only a cheap enqueue cost, the
-//! request is assigned to a worker round-robin, and the worker's server
-//! determines *when in virtual time* the prefetch syscalls execute. The
-//! actual state mutation happens immediately (on the caller's stack) with a
-//! detached clock starting at the worker's dispatch time, so results are
-//! deterministic while the timing matches a real worker pool: a saturated
-//! pool delays prefetches, and more workers (`NR_WORKERS_VAR`) drain the
-//! queue faster.
+//! request is assigned to the worker with the earliest availability, and
+//! the worker's server determines *when in virtual time* the prefetch
+//! syscalls execute. The actual state mutation happens immediately (on the
+//! caller's stack) with a detached clock starting at the worker's dispatch
+//! time, so results are deterministic while the timing matches a real
+//! worker pool: a saturated pool delays prefetches, and more workers
+//! (`NR_WORKERS_VAR`) drain the queue faster.
+//!
+//! The pool also hosts the submission-queue half of the batched prefetch
+//! path ([`SubmissionQueue`]): per-worker bounded batches that flush on
+//! size or virtual-time deadline, io_uring-style, so N planned runs cross
+//! into the OS as one vectored call.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use simclock::{FcfsResource, GlobalClock, ThreadClock};
 
 /// Timing facts about one dispatched job, for telemetry.
@@ -46,7 +52,6 @@ impl Dispatch {
 #[derive(Debug)]
 pub struct WorkerPool {
     servers: Vec<FcfsResource>,
-    next: AtomicUsize,
     global: Arc<GlobalClock>,
     /// Fixed dispatch overhead per request (dequeue + bookkeeping).
     dispatch_ns: u64,
@@ -64,7 +69,6 @@ impl WorkerPool {
             servers: (0..workers)
                 .map(|_| FcfsResource::new("prefetch-worker"))
                 .collect(),
-            next: AtomicUsize::new(0),
             global,
             dispatch_ns: 300,
         }
@@ -80,10 +84,27 @@ impl WorkerPool {
         self.servers.is_empty()
     }
 
+    /// The worker that can start a job enqueued at `now` the earliest,
+    /// tie-broken by index so same-seed runs stay deterministic.
+    ///
+    /// Availability is the server's `clear_time` — the end of the busy
+    /// interval containing `now` (or `now` itself when idle). The old
+    /// `fetch_add % len` round-robin could queue a job behind a saturated
+    /// worker while others sat idle.
+    pub fn least_loaded(&self, now: u64) -> usize {
+        self.servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, server)| server.clear_time(now))
+            .map(|(idx, _)| idx)
+            .unwrap_or(0)
+    }
+
     /// Dispatches a job enqueued at `enqueue_ns`, running `job` with a
     /// clock positioned at the worker's start time. `estimated_ns` is the
     /// server occupancy reserved for the job (its issuing cost, not the
-    /// device time, which the job charges itself).
+    /// device time, which the job charges itself). The job lands on the
+    /// worker with the earliest availability ([`WorkerPool::least_loaded`]).
     ///
     /// Returns the dispatch timing record (worker index, queue wait, and
     /// the virtual time at which the job's issuing completed).
@@ -91,15 +112,37 @@ impl WorkerPool {
     where
         F: FnOnce(&mut ThreadClock),
     {
-        let idx = self.next.fetch_add(1, Ordering::Relaxed) % self.servers.len();
-        let access = self.servers[idx].access(enqueue_ns, self.dispatch_ns + estimated_ns);
+        let idx = self.least_loaded(enqueue_ns);
+        self.dispatch_on(idx, enqueue_ns, estimated_ns, job)
+    }
+
+    /// Dispatches a job onto a specific worker (used by the batched
+    /// submission path, which binds each batch to the worker whose
+    /// submission slot accumulated it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn dispatch_on<F>(
+        &self,
+        worker: usize,
+        enqueue_ns: u64,
+        estimated_ns: u64,
+        job: F,
+    ) -> Dispatch
+    where
+        F: FnOnce(&mut ThreadClock),
+    {
+        let access = self.servers[worker].access(enqueue_ns, self.dispatch_ns + estimated_ns);
         let mut clock = ThreadClock::detached_at(Arc::clone(&self.global), access.start_ns);
         job(&mut clock);
         Dispatch {
-            worker: idx,
+            worker,
             enqueue_ns,
             start_ns: access.start_ns,
-            end_ns: clock.now(),
+            // The worker stays occupied through its reservation even when
+            // the job itself issues faster than estimated.
+            end_ns: clock.now().max(access.end_ns),
         }
     }
 
@@ -111,6 +154,164 @@ impl WorkerPool {
     /// Total jobs dispatched.
     pub fn jobs(&self) -> u64 {
         self.servers.iter().map(|s| s.stats().acquisitions()).sum()
+    }
+}
+
+// ----- batched submission (the SQ half of the SQ/CQ model) -----------------
+
+/// Why a submission batch left its queue slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The batch reached its entry capacity.
+    Full,
+    /// The batch sat open past its virtual-time deadline.
+    Deadline,
+    /// An explicit drain (end of run, cache-view drop, bench boundary).
+    Explicit,
+}
+
+impl FlushReason {
+    /// Stable label used in traces and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushReason::Full => "full",
+            FlushReason::Deadline => "deadline",
+            FlushReason::Explicit => "explicit",
+        }
+    }
+}
+
+/// One open batch: accumulated entries plus the virtual time the batch was
+/// opened (its deadline base).
+#[derive(Debug)]
+struct Slot<T> {
+    entries: Vec<T>,
+    opened_ns: u64,
+}
+
+/// A bounded per-worker submission queue: entries accumulate per slot and
+/// flush as whole batches when a slot fills ([`FlushReason::Full`]), when
+/// its oldest entry ages past the deadline ([`FlushReason::Deadline`]), or
+/// on explicit drain ([`FlushReason::Explicit`]).
+///
+/// The queue itself is timing-free bookkeeping — callers decide *when* to
+/// consult it (the read path checks [`SubmissionQueue::next_deadline_ns`],
+/// one relaxed load, before paying any locking).
+#[derive(Debug)]
+pub struct SubmissionQueue<T> {
+    slots: Vec<Mutex<Slot<T>>>,
+    max_entries: usize,
+    deadline_ns: u64,
+    /// Earliest deadline over all open batches; `u64::MAX` when every slot
+    /// is empty. A monotone hint (maintained with `fetch_min` on push and
+    /// recomputed on drain), so the hot path can skip the slot locks.
+    earliest_due_ns: AtomicU64,
+}
+
+impl<T> SubmissionQueue<T> {
+    /// A queue with one slot per worker, flushing at `max_entries` entries
+    /// or `deadline_ns` virtual nanoseconds after a batch opens.
+    pub fn new(slots: usize, max_entries: usize, deadline_ns: u64) -> Self {
+        Self {
+            slots: (0..slots.max(1))
+                .map(|_| {
+                    Mutex::new(Slot {
+                        entries: Vec::new(),
+                        opened_ns: 0,
+                    })
+                })
+                .collect(),
+            max_entries: max_entries.max(1),
+            deadline_ns,
+            earliest_due_ns: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Number of slots (one per worker).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entry capacity per batch.
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    /// The earliest virtual time at which any open batch becomes due, or
+    /// `u64::MAX` when no batch is open. One relaxed load.
+    pub fn next_deadline_ns(&self) -> u64 {
+        self.earliest_due_ns.load(Ordering::Relaxed)
+    }
+
+    /// Appends `item` to `slot`'s open batch (opening one at `now` if the
+    /// slot was empty). Returns the whole batch when this push filled it
+    /// or when the batch was already past its deadline; the caller owns
+    /// submitting the returned batch.
+    pub fn push(&self, slot: usize, now: u64, item: T) -> Option<(Vec<T>, FlushReason)> {
+        let mut guard = self.slots[slot % self.slots.len()].lock();
+        if guard.entries.is_empty() {
+            guard.opened_ns = now;
+        }
+        guard.entries.push(item);
+        if guard.entries.len() >= self.max_entries {
+            let batch = std::mem::take(&mut guard.entries);
+            drop(guard);
+            self.recompute_due();
+            return Some((batch, FlushReason::Full));
+        }
+        if now >= guard.opened_ns.saturating_add(self.deadline_ns) {
+            let batch = std::mem::take(&mut guard.entries);
+            drop(guard);
+            self.recompute_due();
+            return Some((batch, FlushReason::Deadline));
+        }
+        let due = guard.opened_ns.saturating_add(self.deadline_ns);
+        drop(guard);
+        self.earliest_due_ns.fetch_min(due, Ordering::Relaxed);
+        None
+    }
+
+    /// Drains every batch whose deadline has passed at `now`, returning
+    /// `(slot, batch)` pairs in slot order.
+    pub fn drain_due(&self, now: u64) -> Vec<(usize, Vec<T>)> {
+        let mut due = Vec::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let mut guard = slot.lock();
+            if !guard.entries.is_empty() && now >= guard.opened_ns.saturating_add(self.deadline_ns)
+            {
+                due.push((idx, std::mem::take(&mut guard.entries)));
+            }
+        }
+        if !due.is_empty() {
+            self.recompute_due();
+        }
+        due
+    }
+
+    /// Drains every open batch regardless of age, returning `(slot, batch)`
+    /// pairs in slot order (the [`FlushReason::Explicit`] path).
+    pub fn drain_all(&self) -> Vec<(usize, Vec<T>)> {
+        let mut all = Vec::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let mut guard = slot.lock();
+            if !guard.entries.is_empty() {
+                all.push((idx, std::mem::take(&mut guard.entries)));
+            }
+        }
+        self.earliest_due_ns.store(u64::MAX, Ordering::Relaxed);
+        all
+    }
+
+    /// Recomputes the earliest-deadline hint from the open batches.
+    fn recompute_due(&self) {
+        let mut earliest = u64::MAX;
+        for slot in &self.slots {
+            let guard = slot.lock();
+            if !guard.entries.is_empty() {
+                earliest = earliest.min(guard.opened_ns.saturating_add(self.deadline_ns));
+            }
+        }
+        self.earliest_due_ns.store(earliest, Ordering::Relaxed);
     }
 }
 
@@ -147,6 +348,37 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_avoids_saturated_workers() {
+        // A long job saturates worker 0; under round-robin the next two
+        // short jobs would alternate 1, 0 and the third would queue behind
+        // the long job. Earliest-availability keeps them on worker 1.
+        let pool = pool(2);
+        let long = pool.dispatch(0, 100_000, |_| {});
+        assert_eq!(long.worker, 0);
+        let short1 = pool.dispatch(0, 10_000, |_| {});
+        assert_eq!(short1.worker, 1);
+        assert_eq!(short1.queue_wait_ns(), 0);
+        let short2 = pool.dispatch(0, 10_000, |_| {});
+        assert_eq!(
+            short2.worker, 1,
+            "must not round-robin onto the saturated worker"
+        );
+        assert!(short2.queue_wait_ns() < long.end_ns - long.enqueue_ns);
+        assert_eq!(pool.total_wait_ns(), short2.queue_wait_ns());
+    }
+
+    #[test]
+    fn tie_break_is_lowest_index() {
+        let pool = pool(4);
+        // All idle: deterministic pick is worker 0.
+        assert_eq!(pool.least_loaded(0), 0);
+        let d = pool.dispatch(0, 1_000, |_| {});
+        assert_eq!(d.worker, 0);
+        // Worker 0 busy, the rest idle and tied: pick worker 1.
+        assert_eq!(pool.least_loaded(0), 1);
+    }
+
+    #[test]
     fn job_clock_starts_at_dispatch_time() {
         let pool = pool(1);
         pool.dispatch(5_000, 100, |clock| {
@@ -166,5 +398,53 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         pool(0);
+    }
+
+    #[test]
+    fn queue_flushes_when_full() {
+        let queue: SubmissionQueue<u64> = SubmissionQueue::new(2, 3, 1_000_000);
+        assert!(queue.push(0, 0, 1).is_none());
+        assert!(queue.push(0, 10, 2).is_none());
+        let (batch, reason) = queue.push(0, 20, 3).expect("third push fills the batch");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(reason, FlushReason::Full);
+        // The slot restarts empty.
+        assert!(queue.push(0, 30, 4).is_none());
+    }
+
+    #[test]
+    fn queue_flushes_on_deadline() {
+        let queue: SubmissionQueue<u64> = SubmissionQueue::new(1, 16, 1_000);
+        assert!(queue.push(0, 0, 1).is_none());
+        assert_eq!(queue.next_deadline_ns(), 1_000);
+        // Nothing due yet.
+        assert!(queue.drain_due(999).is_empty());
+        let due = queue.drain_due(1_000);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].1, vec![1]);
+        assert_eq!(queue.next_deadline_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn late_push_flushes_expired_batch() {
+        let queue: SubmissionQueue<u64> = SubmissionQueue::new(1, 16, 1_000);
+        assert!(queue.push(0, 0, 1).is_none());
+        let (batch, reason) = queue.push(0, 5_000, 2).expect("past-deadline push flushes");
+        assert_eq!(batch, vec![1, 2]);
+        assert_eq!(reason, FlushReason::Deadline);
+    }
+
+    #[test]
+    fn drain_all_empties_every_slot() {
+        let queue: SubmissionQueue<u64> = SubmissionQueue::new(3, 16, 1_000_000);
+        queue.push(0, 0, 1);
+        queue.push(2, 0, 2);
+        queue.push(2, 0, 3);
+        let drained = queue.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0], (0, vec![1]));
+        assert_eq!(drained[1], (2, vec![2, 3]));
+        assert!(queue.drain_all().is_empty());
+        assert_eq!(queue.next_deadline_ns(), u64::MAX);
     }
 }

@@ -21,6 +21,7 @@ use simstore::IoPriority;
 use crate::cache::PAGES_PER_WORD;
 use crate::error::IoError;
 use crate::os::{Fd, Os, PAGE_SIZE};
+use simfs::InodeId;
 
 /// Request structure for [`Os::readahead_info`] — the `info` parameter of
 /// the paper's Listing 1, input half.
@@ -329,6 +330,279 @@ impl Os {
     }
 }
 
+/// One entry of a batched prefetch submission ([`Os::try_readahead_batch`]):
+/// a `readahead_info`-style prefetch request over a byte range of one
+/// descriptor. Entries are the submission-queue elements; the matching
+/// [`RaBatchCompletion`] is the completion-queue element.
+#[derive(Debug, Clone, Copy)]
+pub struct RaBatchEntry {
+    /// Descriptor whose file the range belongs to.
+    pub fd: Fd,
+    /// Byte offset of the range to prefetch.
+    pub offset: u64,
+    /// Byte length of the range to prefetch.
+    pub len: u64,
+    /// Per-entry prefetch limit override (pages), as
+    /// [`RaInfoRequest::limit_pages`]; `None` uses the OS readahead cap.
+    pub limit_pages: Option<u64>,
+}
+
+impl RaBatchEntry {
+    /// A prefetch entry over a byte range with the default limit.
+    pub fn new(fd: Fd, offset: u64, len: u64) -> Self {
+        Self {
+            fd,
+            offset,
+            len,
+            limit_pages: None,
+        }
+    }
+
+    /// Sets the §4.7 limit override for this entry.
+    pub fn with_limit_pages(mut self, pages: u64) -> Self {
+        self.limit_pages = Some(pages);
+        self
+    }
+}
+
+/// Per-entry completion of a batched submission, index-matched to the
+/// submitted [`RaBatchEntry`] slice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RaBatchCompletion {
+    /// Pages of the entry's range already cached at submission time.
+    pub cached_pages: u64,
+    /// Pages of the entry's range newly scheduled for prefetch.
+    pub initiated_pages: u64,
+    /// Virtual time at which this entry's initiated I/O completes
+    /// (0 when nothing was initiated).
+    pub ready_at_ns: u64,
+    /// Whether the entry was merged into an adjacent run of the same
+    /// inode before hitting the device. Merged entries are still fully
+    /// serviced — the merge only saves per-request device overhead.
+    pub merged: bool,
+    /// Transient failure of this entry's merged device run, if any.
+    /// Per-run all-or-nothing: the entry initiated nothing and a retry
+    /// re-covers its whole range.
+    pub error: Option<IoError>,
+}
+
+/// A member of one per-inode merged run: index into the caller's entry
+/// slice plus its clamped page range and limit.
+struct BatchMember {
+    idx: usize,
+    p0: u64,
+    p1: u64,
+    cap: u64,
+}
+
+/// Pages of `[s, e)` overlapping `[a, b)`.
+fn overlap(s: u64, e: u64, a: u64, b: u64) -> u64 {
+    e.min(b).saturating_sub(s.max(a))
+}
+
+impl Os {
+    /// Batched prefetch submission — the vectored form of
+    /// [`Os::try_readahead_info`] (SQ/CQ model). The caller hands over a
+    /// whole submission queue of prefetch entries; the OS charges **one**
+    /// syscall crossing for the batch, groups entries by inode, merges
+    /// adjacent runs (gap at most one OS readahead window), issues one
+    /// vectored prefetch-class device submission per merged run, publishes
+    /// each inode's bitmap once, and returns per-entry completions so the
+    /// caller's per-run retry/degradation machinery still operates on
+    /// individual entries.
+    ///
+    /// Unlike `readahead_info` there is no bitmap export: the completion
+    /// queue carries counts only, keeping the crossing cheap.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Unsupported`] when the kernel lacks CROSS-OS
+    /// ([`crate::OsConfig::readahead_info_supported`] is `false`): the
+    /// whole batch is rejected after the one failed probe crossing.
+    /// Transient device faults are **not** batch errors — they surface
+    /// per entry via [`RaBatchCompletion::error`], failing only the
+    /// members of the faulted merged run.
+    pub fn try_readahead_batch(
+        &self,
+        clock: &mut ThreadClock,
+        entries: &[RaBatchEntry],
+    ) -> Result<Vec<RaBatchCompletion>, IoError> {
+        if !self.config().readahead_info_supported {
+            clock.advance(self.config().costs.syscall_ns);
+            self.stats().syscalls.incr();
+            self.stats().ra_info_unsupported.incr();
+            return Err(IoError::Unsupported);
+        }
+        let costs = &self.config().costs;
+        clock.advance(costs.syscall_ns);
+        self.stats().syscalls.incr();
+        self.stats().ra_batch_calls.incr();
+
+        let mut completions = vec![RaBatchCompletion::default(); entries.len()];
+
+        // Group entries by inode, first-appearance order (deterministic).
+        let mut inodes: Vec<InodeId> = Vec::new();
+        let mut groups: Vec<Vec<BatchMember>> = Vec::new();
+        for (idx, entry) in entries.iter().enumerate() {
+            let ino = self.fd_entry(entry.fd).ino;
+            let file_pages = self.fs().size(ino).div_ceil(PAGE_SIZE);
+            let p0 = (entry.offset / PAGE_SIZE).min(file_pages);
+            let p1 = ((entry.offset + entry.len).div_ceil(PAGE_SIZE)).min(file_pages);
+            let cap = entry
+                .limit_pages
+                .unwrap_or(self.config().ra_max_pages)
+                .min(self.config().crossos_max_prefetch_pages)
+                .max(1);
+            let gi = inodes.iter().position(|&i| i == ino).unwrap_or_else(|| {
+                inodes.push(ino);
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(BatchMember { idx, p0, p1, cap });
+        }
+
+        // Device I/O accumulates off the caller's critical path on one
+        // detached clock: the batch is a single submission stream, so its
+        // merged runs issue back to back exactly like the splits of one
+        // large transfer.
+        let mut io_clock = ThreadClock::detached_at(Arc::clone(self.global()), clock.now());
+        let merge_gap = self.config().ra_max_pages;
+        let ceiling = self.config().crossos_max_prefetch_pages;
+
+        for (ino, mut members) in inodes.into_iter().zip(groups) {
+            let cache = self.cache(ino);
+            members.sort_by_key(|m| (m.p0, m.p1));
+
+            // Merge adjacent member ranges into submission runs: (start,
+            // end, page budget, member indices).
+            let mut runs: Vec<(u64, u64, u64, Vec<usize>)> = Vec::new();
+            for (mi, m) in members.iter().enumerate() {
+                if m.p1 <= m.p0 {
+                    continue;
+                }
+                match runs.last_mut() {
+                    Some(run) if m.p0 <= run.1.saturating_add(merge_gap) => {
+                        run.1 = run.1.max(m.p1);
+                        run.2 = run.2.saturating_add(m.cap).min(ceiling);
+                        run.3.push(mi);
+                        completions[m.idx].merged = true;
+                    }
+                    _ => runs.push((m.p0, m.p1, m.cap, vec![mi])),
+                }
+            }
+            if runs.is_empty() {
+                continue;
+            }
+
+            // Fast path: one bitmap read scan per inode over the merged
+            // spans — never the cache-tree lock.
+            let scan_pages: u64 = runs.iter().map(|r| r.1 - r.0).sum();
+            let scan = cache
+                .bitmap_lock
+                .read(clock.now(), costs.bitmap_scan_ns(scan_pages));
+            clock.advance_to(scan.end_ns);
+
+            let mut inserted: Vec<(u64, u64, u64)> = Vec::new();
+            let mut publish_pages = 0u64;
+            for run in &runs {
+                let missing = cache.state.read().missing_runs(run.0, run.1);
+                for &mi in &run.3 {
+                    let m = &members[mi];
+                    let missing_in_member: u64 = missing
+                        .iter()
+                        .map(|&(s, e)| overlap(s, e, m.p0, m.p1))
+                        .sum();
+                    completions[m.idx].cached_pages = (m.p1 - m.p0) - missing_in_member;
+                }
+                let mut budget = run.2;
+                let mut scheduled: Vec<(u64, u64)> = Vec::new();
+                for &(s, e) in &missing {
+                    if budget == 0 {
+                        break;
+                    }
+                    let take = (e - s).min(budget);
+                    scheduled.push((s, s + take));
+                    budget -= take;
+                }
+                if scheduled.is_empty() {
+                    continue;
+                }
+
+                // One vectored submission carries the run's physical block
+                // runs: one fixed latency, one congestion check, one fault
+                // draw for the whole merged run.
+                let mut block_runs: Vec<u64> = Vec::new();
+                for &(s, e) in &scheduled {
+                    for blk in self.fs().map_blocks(ino, s, e - s) {
+                        block_runs.push(blk.blocks);
+                    }
+                }
+                let before = io_clock.now();
+                if self
+                    .device()
+                    .try_charge_read_vectored(&mut io_clock, &block_runs, IoPriority::Prefetch)
+                    .is_err()
+                {
+                    // Per-run all-or-nothing: nothing of this run is
+                    // inserted or published; its members learn via the
+                    // completion queue and may retry individually.
+                    for &mi in &run.3 {
+                        completions[members[mi].idx].error = Some(IoError::Io);
+                    }
+                    continue;
+                }
+                let after = io_clock.now();
+
+                // The device streams the vector front to back: interpolate
+                // readiness across the scheduled pages so readers consume
+                // the head of the batch while its tail is in flight.
+                let total: u64 = scheduled.iter().map(|&(s, e)| e - s).sum();
+                let span = after.saturating_sub(before);
+                let mut done = 0u64;
+                for &(s, e) in &scheduled {
+                    let t0 = before + span * done / total.max(1);
+                    done += e - s;
+                    let t1 = before + span * done / total.max(1);
+                    push_interpolated_ready(&mut inserted, s, e, t0, t1);
+                }
+                for &mi in &run.3 {
+                    let m = &members[mi];
+                    let init: u64 = scheduled
+                        .iter()
+                        .map(|&(s, e)| overlap(s, e, m.p0, m.p1))
+                        .sum();
+                    completions[m.idx].initiated_pages = init;
+                    if init > 0 {
+                        completions[m.idx].ready_at_ns = after;
+                    }
+                }
+                publish_pages += total;
+            }
+
+            // Publish once per inode after the whole walk.
+            if !inserted.is_empty() {
+                let publish_hold = costs.bitmap_lock_hold_ns + costs.bitmap_scan_ns(publish_pages);
+                let publish = cache.bitmap_lock.write(clock.now(), publish_hold);
+                clock.advance_to(publish.end_ns);
+                let touch = clock.now() + PREFETCH_TOUCH_BIAS_NS;
+                let mut initiated_total = 0;
+                {
+                    let mut state = cache.state.write();
+                    for &(s, e, ready) in &inserted {
+                        initiated_total += state.insert_range_prefetched(s, e, touch, ready);
+                    }
+                }
+                self.stats().prefetched_pages.add(initiated_total);
+                if self.mem().note_inserted(initiated_total) {
+                    self.reclaim(clock);
+                }
+            }
+        }
+
+        Ok(completions)
+    }
+}
+
 /// Recency bias for prefetched-but-unread pages (see the insert sites).
 pub(crate) const PREFETCH_TOUCH_BIAS_NS: u64 = 5 * simclock::NS_PER_MS;
 
@@ -580,6 +854,134 @@ mod tests {
         // The infallible entry point still works (flag only gates try_*).
         let info = os.readahead_info(&mut clock, fd, RaInfoRequest::prefetch(0, 1 << 20));
         assert_eq!(info.initiated_pages, 32);
+    }
+
+    #[test]
+    fn batch_charges_one_crossing_for_many_entries() {
+        let (os, fd, mut clock) = os_with_file(8 << 20);
+        let syscalls_before = os.stats().syscalls.get();
+        // Four disjoint far-apart runs (beyond the merge gap) of 32 pages.
+        let stride = (os.config().ra_max_pages + 64) * PAGE_SIZE;
+        let entries: Vec<RaBatchEntry> = (0..4)
+            .map(|i| RaBatchEntry::new(fd, i * stride, 32 * PAGE_SIZE).with_limit_pages(32))
+            .collect();
+        let completions = os.try_readahead_batch(&mut clock, &entries).unwrap();
+        assert_eq!(os.stats().syscalls.get() - syscalls_before, 1);
+        assert_eq!(os.stats().ra_batch_calls.get(), 1);
+        assert_eq!(completions.len(), 4);
+        for c in &completions {
+            assert_eq!(c.initiated_pages, 32);
+            assert_eq!(c.cached_pages, 0);
+            assert!(!c.merged);
+            assert!(c.error.is_none());
+            assert!(c.ready_at_ns > 0);
+        }
+        assert_eq!(os.stats().prefetched_pages.get(), 128);
+    }
+
+    #[test]
+    fn batch_merges_adjacent_runs_into_one_device_submission() {
+        let (os, fd, mut clock) = os_with_file(8 << 20);
+        let entries: Vec<RaBatchEntry> = (0..4)
+            .map(|i| RaBatchEntry::new(fd, i * 32 * PAGE_SIZE, 32 * PAGE_SIZE).with_limit_pages(32))
+            .collect();
+        let completions = os.try_readahead_batch(&mut clock, &entries).unwrap();
+        assert_eq!(os.device().stats().vectored_submissions.get(), 1);
+        assert!(!completions[0].merged);
+        assert!(completions[1..].iter().all(|c| c.merged));
+        let total: u64 = completions.iter().map(|c| c.initiated_pages).sum();
+        assert_eq!(total, 128);
+    }
+
+    #[test]
+    fn batch_entries_for_distinct_files_do_not_merge() {
+        let (os, fd_a, mut clock) = os_with_file(4 << 20);
+        let fd_b = os.create_sized(&mut clock, "/g", 4 << 20).unwrap();
+        let entries = [
+            RaBatchEntry::new(fd_a, 0, 32 * PAGE_SIZE).with_limit_pages(32),
+            RaBatchEntry::new(fd_b, 0, 32 * PAGE_SIZE).with_limit_pages(32),
+        ];
+        let completions = os.try_readahead_batch(&mut clock, &entries).unwrap();
+        assert_eq!(os.device().stats().vectored_submissions.get(), 2);
+        assert!(completions.iter().all(|c| !c.merged));
+        assert!(completions.iter().all(|c| c.initiated_pages == 32));
+    }
+
+    #[test]
+    fn batch_matches_unbatched_initiated_pages_with_fewer_crossings() {
+        let mk = || os_with_file(8 << 20);
+
+        let (batched_os, bfd, mut bclock) = mk();
+        let entries: Vec<RaBatchEntry> = (0..4)
+            .map(|i| {
+                RaBatchEntry::new(bfd, i * 64 * PAGE_SIZE, 64 * PAGE_SIZE).with_limit_pages(64)
+            })
+            .collect();
+        let completions = batched_os
+            .try_readahead_batch(&mut bclock, &entries)
+            .unwrap();
+        let batched_pages: u64 = completions.iter().map(|c| c.initiated_pages).sum();
+
+        let (plain_os, pfd, mut pclock) = mk();
+        let mut plain_pages = 0;
+        for i in 0..4u64 {
+            let info = plain_os.readahead_info(
+                &mut pclock,
+                pfd,
+                RaInfoRequest::prefetch(i * 64 * PAGE_SIZE, 64 * PAGE_SIZE).with_limit_pages(64),
+            );
+            plain_pages += info.initiated_pages;
+        }
+        assert_eq!(batched_pages, plain_pages);
+        assert!(batched_os.stats().syscalls.get() < plain_os.stats().syscalls.get());
+    }
+
+    #[test]
+    fn unsupported_kernel_rejects_whole_batch() {
+        let mut config = OsConfig::with_memory_mb(64);
+        config.readahead_info_supported = false;
+        let os = Os::new(
+            config,
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 1 << 20).unwrap();
+        let err = os
+            .try_readahead_batch(&mut clock, &[RaBatchEntry::new(fd, 0, 1 << 20)])
+            .unwrap_err();
+        assert_eq!(err, IoError::Unsupported);
+        assert_eq!(os.stats().ra_info_unsupported.get(), 1);
+        assert_eq!(os.device().stats().read_bytes.get(), 0);
+    }
+
+    #[test]
+    fn batch_fault_fails_entries_not_the_batch() {
+        use simstore::FaultPlan;
+        let os = Os::new(
+            OsConfig::with_memory_mb(256),
+            Device::with_fault_plan(
+                DeviceConfig::local_nvme(),
+                FaultPlan::seeded(3).with_prefetch_eio(1.0),
+            ),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 4 << 20).unwrap();
+        let entries = [
+            RaBatchEntry::new(fd, 0, 32 * PAGE_SIZE).with_limit_pages(32),
+            RaBatchEntry::new(fd, 32 * PAGE_SIZE, 32 * PAGE_SIZE).with_limit_pages(32),
+        ];
+        // The call itself succeeds; the faulted run surfaces per entry.
+        let completions = os.try_readahead_batch(&mut clock, &entries).unwrap();
+        assert!(completions.iter().all(|c| c.error == Some(IoError::Io)));
+        assert!(completions.iter().all(|c| c.initiated_pages == 0));
+        // All-or-nothing per run: nothing was inserted.
+        let info = os
+            .try_readahead_info(&mut clock, fd, RaInfoRequest::query(0, 4 << 20))
+            .unwrap();
+        assert_eq!(info.cached_pages, 0);
+        assert_eq!(os.stats().prefetched_pages.get(), 0);
     }
 
     #[test]

@@ -944,7 +944,20 @@ impl Os {
     }
 
     /// `posix_fadvise(2)`.
-    pub fn fadvise(&self, clock: &mut ThreadClock, fd: Fd, advice: Advice, offset: u64, len: u64) {
+    ///
+    /// Returns the number of pages actually dropped from the cache —
+    /// nonzero only for [`Advice::DontNeed`], and possibly smaller than
+    /// the byte range suggests when OS reclaim already removed pages.
+    /// Callers that evict for accounting purposes must charge this
+    /// return value, not a residency snapshot taken before the call.
+    pub fn fadvise(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        advice: Advice,
+        offset: u64,
+        len: u64,
+    ) -> u64 {
         let costs = &self.config.costs;
         clock.advance(costs.syscall_ns);
         self.stats.syscalls.incr();
@@ -988,8 +1001,10 @@ impl Os {
                         .charge_write(&mut io_clock, dirty, IoPriority::Prefetch);
                 }
                 self.stats.evicted_by_advice.add(removed);
+                return removed;
             }
         }
+        0
     }
 
     /// `fincore`-style cache residency query for a whole file.

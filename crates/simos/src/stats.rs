@@ -28,6 +28,9 @@ pub struct OsStats {
     /// `readahead_info` attempts rejected because the kernel lacks the
     /// syscall (`readahead_info_supported = false`).
     pub ra_info_unsupported: Counter,
+    /// `readahead_batch` invocations (CROSS-OS vectored submissions); each
+    /// carries many entries but charges one syscall crossing.
+    pub ra_batch_calls: Counter,
     /// Demand reads that surfaced a transient device error to the caller.
     pub demand_read_errors: Counter,
     /// `fincore` invocations.

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use crossprefetch::{Mode, Runtime, RuntimeReport, TraceEvent};
+use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport, TraceEvent};
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Device::new(DeviceConfig::local_nvme()),
         FileSystem::new(FsKind::Ext4Like),
     );
-    let runtime = Runtime::with_mode(os, Mode::PredictOpt);
+    // Batched submission on, so the report's `batching` section carries
+    // real flush/merge/crossings-saved numbers.
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.batch_submit = true;
+    let runtime = Runtime::new(os, config);
     runtime.trace().set_enabled(true);
     let mut clock = runtime.new_clock();
 
@@ -44,6 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .wrapping_add(1442695040888963407);
         file.read_charge(&mut clock, (state % (63 << 20)) & !4095, chunk);
     }
+
+    // Drain any still-staged submission batches before reporting.
+    runtime.flush_prefetch_batches(&mut clock);
 
     // 1. Machine-readable report.
     let report = RuntimeReport::collect(&runtime);

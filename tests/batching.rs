@@ -1,0 +1,219 @@
+//! Batched prefetch submission: off-path byte-identity, flush policy,
+//! partial-batch failure, and crossing-count savings.
+
+use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport};
+use simos::{Device, DeviceConfig, FaultPlan, FileSystem, FsKind, Os, OsConfig};
+
+fn os(memory_mb: u64) -> std::sync::Arc<Os> {
+    Os::new(
+        OsConfig::with_memory_mb(memory_mb),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    )
+}
+
+/// A deterministic mixed workload: sequential ramp, warm re-read, random
+/// jumps. Returns the runtime's JSON report after draining batches.
+fn run_workload(config: RuntimeConfig) -> String {
+    let runtime = Runtime::new(os(48), config);
+    let mut clock = runtime.new_clock();
+    let file = runtime
+        .create_sized(&mut clock, "/data/w.bin", 48 << 20)
+        .unwrap();
+    let chunk = 16 * 1024u64;
+    for i in 0..512u64 {
+        file.read_charge(&mut clock, i * chunk, chunk);
+    }
+    for i in 0..64u64 {
+        file.read_charge(&mut clock, i * chunk, chunk);
+    }
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for _ in 0..128 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        file.read_charge(&mut clock, (state % (47 << 20)) & !4095, chunk);
+    }
+    runtime.flush_prefetch_batches(&mut clock);
+    RuntimeReport::collect(&runtime).to_json()
+}
+
+/// All six Table-2 mechanisms: with `batch_submit` off, the batching knobs
+/// must be inert — telemetry is byte-identical no matter how they are set.
+#[test]
+fn batch_knobs_are_inert_when_disabled() {
+    let mechanisms = [
+        Mode::AppOnly,
+        Mode::OsOnly,
+        Mode::Predict,
+        Mode::PredictOpt,
+        Mode::FetchAllOpt,
+        Mode::FincoreApp,
+    ];
+    for mode in mechanisms {
+        let baseline = run_workload(RuntimeConfig::new(mode));
+        let mut tweaked = RuntimeConfig::new(mode);
+        tweaked.batch_max_runs = 2;
+        tweaked.batch_deadline_ns = 1;
+        assert_eq!(
+            baseline,
+            run_workload(tweaked),
+            "{}: batch knobs leaked into the unbatched path",
+            mode.label()
+        );
+    }
+}
+
+/// Batched runs are deterministic: the same configuration twice produces
+/// byte-identical telemetry.
+#[test]
+fn batched_run_is_deterministic() {
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.batch_submit = true;
+    let first = run_workload(config.clone());
+    let second = run_workload(config);
+    assert_eq!(first, second);
+}
+
+/// A tiny capacity forces size flushes; a generous deadline means none of
+/// them are deadline flushes.
+#[test]
+fn small_capacity_flushes_on_full() {
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.batch_submit = true;
+    config.batch_max_runs = 1;
+    config.batch_deadline_ns = u64::MAX / 2;
+    let runtime = Runtime::new(os(48), config);
+    let mut clock = runtime.new_clock();
+    let file = runtime
+        .create_sized(&mut clock, "/data/full.bin", 32 << 20)
+        .unwrap();
+    for i in 0..256u64 {
+        file.read_charge(&mut clock, i * 16_384, 16_384);
+    }
+    runtime.flush_prefetch_batches(&mut clock);
+    let stats = runtime.stats();
+    assert!(stats.batches_flushed.get() > 0, "no batches flushed");
+    assert!(
+        stats.batch_flush_full.get() > 0,
+        "capacity-1 batches must flush full"
+    );
+    assert_eq!(stats.batch_flush_deadline.get(), 0);
+    assert_eq!(
+        stats.batches_flushed.get(),
+        stats.batch_flush_full.get()
+            + stats.batch_flush_deadline.get()
+            + stats.batch_flush_explicit.get()
+    );
+}
+
+/// A one-nanosecond deadline means every batch that survives to the next
+/// read-path poll (or push) flushes by deadline, never by size.
+#[test]
+fn short_deadline_flushes_on_deadline() {
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.batch_submit = true;
+    config.batch_max_runs = 1_000_000;
+    config.batch_deadline_ns = 1;
+    let runtime = Runtime::new(os(48), config);
+    let mut clock = runtime.new_clock();
+    let file = runtime
+        .create_sized(&mut clock, "/data/deadline.bin", 32 << 20)
+        .unwrap();
+    for i in 0..256u64 {
+        file.read_charge(&mut clock, i * 16_384, 16_384);
+    }
+    runtime.flush_prefetch_batches(&mut clock);
+    let stats = runtime.stats();
+    assert!(stats.batches_flushed.get() > 0, "no batches flushed");
+    assert_eq!(stats.batch_flush_full.get(), 0);
+    assert!(
+        stats.batch_flush_deadline.get() > 0,
+        "deadline flushes expected"
+    );
+}
+
+/// Device faults on the prefetch class fail individual completions, not
+/// the whole batch: the runtime's per-run retry ladder still engages and
+/// eventually gives up, and the run itself keeps going.
+#[test]
+fn partial_batch_failure_feeds_the_retry_ladder() {
+    let plan = FaultPlan::seeded(7).with_prefetch_eio(1.0);
+    let os = Os::new(
+        OsConfig::with_memory_mb(48),
+        Device::with_fault_plan(DeviceConfig::local_nvme(), plan),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.batch_submit = true;
+    let runtime = Runtime::new(os, config);
+    let mut clock = runtime.new_clock();
+    let file = runtime
+        .create_sized(&mut clock, "/data/faulty.bin", 32 << 20)
+        .unwrap();
+    for i in 0..256u64 {
+        file.read_charge(&mut clock, i * 16_384, 16_384);
+    }
+    runtime.flush_prefetch_batches(&mut clock);
+    let stats = runtime.stats();
+    assert!(stats.batches_flushed.get() > 0, "no batches flushed");
+    assert!(
+        stats.prefetch_retries.get() > 0,
+        "failed completions must enter the retry ladder"
+    );
+    assert!(
+        stats.prefetch_give_ups.get() > 0 && stats.pages_abandoned.get() > 0,
+        "permanent EIO must exhaust the ladder"
+    );
+    // Reads still complete (demand path is un-faulted).
+    assert_eq!(runtime.stats().reads.get(), 256);
+}
+
+/// The acceptance criterion: on a sequential stream, batching initiates at
+/// least as many pages while paying at least 2x fewer syscall crossings
+/// for prefetch submission, at an equal-or-better cache-hit ratio.
+///
+/// Uses `Predict` (no `relax_limits`): prefetch windows are issued in
+/// `ra_max_pages` chunks, so one planned window is many unbatched
+/// crossings but a single vectored batch. Under `+opt` relaxation one
+/// window is already one crossing and batching is crossing-neutral.
+#[test]
+fn batching_halves_crossings_at_parity() {
+    let run = |batch: bool| {
+        let mut config = RuntimeConfig::new(Mode::Predict);
+        config.batch_submit = batch;
+        let runtime = Runtime::new(os(64), config);
+        let mut clock = runtime.new_clock();
+        let file = runtime
+            .create_sized(&mut clock, "/data/seq.bin", 48 << 20)
+            .unwrap();
+        for i in 0..768u64 {
+            file.read_charge(&mut clock, i * 16_384, 16_384);
+        }
+        runtime.flush_prefetch_batches(&mut clock);
+        let submissions = if batch {
+            runtime.os().stats().ra_batch_calls.get()
+        } else {
+            runtime.os().stats().ra_info_calls.get()
+        };
+        (
+            runtime.stats().pages_initiated.get(),
+            submissions,
+            RuntimeReport::collect(&runtime).hit_ratio,
+        )
+    };
+    let (unbatched_pages, unbatched_calls, unbatched_hits) = run(false);
+    let (batched_pages, batched_calls, batched_hits) = run(true);
+    assert!(
+        batched_pages >= unbatched_pages,
+        "batching lost pages: {batched_pages} < {unbatched_pages}"
+    );
+    assert!(
+        batched_calls * 2 <= unbatched_calls,
+        "expected >=2x fewer submission crossings: {batched_calls} vs {unbatched_calls}"
+    );
+    assert!(
+        batched_hits >= unbatched_hits - 0.01,
+        "hit ratio regressed: {batched_hits} vs {unbatched_hits}"
+    );
+}

@@ -1,6 +1,6 @@
 //! Property-based tests over the core data structures and invariants.
 
-use crossprefetch::{LockScope, Mode, Predictor, RangeTree, Runtime};
+use crossprefetch::{Direction, LockScope, Mode, Predictor, RangeTree, Runtime};
 use proptest::prelude::*;
 use simclock::{CostModel, FcfsResource, GlobalClock, ThreadClock};
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
@@ -59,6 +59,31 @@ proptest! {
             let pred = p.on_access(page, 4, true, cap);
             prop_assert!(pred.prefetch_pages <= cap);
         }
+    }
+
+    #[test]
+    fn backward_run_reaching_page_zero_stays_backward(stride in 4u64..32, steps in 2u64..8, extra in 1u64..=32) {
+        // A descending scan whose final access lands on page 0. The old
+        // direction vote subtracted `count` from the previous *end* and
+        // clamped at zero, so the head-of-file access looked like a
+        // reversal and flipped the stream to Forward.
+        let mut p = Predictor::new(3);
+        for i in (1..=steps).rev() {
+            p.on_access(i * stride, stride, false, 16_384);
+        }
+        let pred = p.on_access(0, stride + extra, false, 16_384);
+        prop_assert_eq!(pred.direction, Direction::Backward);
+    }
+
+    #[test]
+    fn rereads_at_file_head_stay_forward(count in 1u64..=32, reps in 2u64..16) {
+        // Re-reading the same head-of-file range is not a backward scan.
+        let mut p = Predictor::new(3);
+        let mut pred = p.on_access(0, count, false, 16_384);
+        for _ in 0..reps {
+            pred = p.on_access(0, count, false, 16_384);
+        }
+        prop_assert_eq!(pred.direction, Direction::Forward);
     }
 
     // ---- range tree ----------------------------------------------------------
