@@ -65,7 +65,11 @@ pub mod worker;
 pub use config::{Features, Mode, RuntimeConfig};
 pub use metrics::{PipelineStage, ReadClass, RuntimeMetrics};
 pub use policy::{OpenAction, Policy, PostReadHook};
-pub use predictor::{AccessPattern, Direction, Prediction, Predictor};
+pub use predict::{
+    AdaptiveConfig, AdaptiveEngine, CorrelationConfig, CorrelationEngine, Engine, EngineConfig,
+    EngineKind, PredictionEngine, PrefetchDecision, PrefetchRun, QualityFeedback,
+};
+pub use predictor::{AccessPattern, Direction, Prediction, Predictor, SEQ_BATCH_PAGES};
 pub use range_tree::{LockScope, RangeTree};
 pub use runtime::{CpFile, LibFile, Runtime};
 pub use stats::LibStats;

@@ -9,6 +9,8 @@
 //! Table-2 variant means adding a row here (plus its [`Mode`] arm) and
 //! touching nothing else.
 
+use predict::EngineKind;
+
 use crate::config::{Features, Mode, RuntimeConfig};
 use crate::range_tree::LockScope;
 
@@ -61,6 +63,11 @@ pub struct Policy {
     /// vectored call is a `readahead_info` extension — so the flag is the
     /// config knob ANDed with the visibility feature.
     pub batch_submit: bool,
+    /// The prediction engine new descriptors are built with. Only
+    /// predicting modes consult an engine at all, so non-predict modes
+    /// resolve to the (stateless-by-disuse) strided default regardless of
+    /// the config knob.
+    pub engine: EngineKind,
 }
 
 impl Policy {
@@ -97,6 +104,11 @@ impl Policy {
             scope,
             post_read,
             batch_submit: features.visibility && config.batch_submit,
+            engine: if features.predict {
+                config.engine
+            } else {
+                EngineKind::Strided
+            },
         }
     }
 }
@@ -188,6 +200,26 @@ mod tests {
         let mut blind = RuntimeConfig::new(Mode::OsOnly);
         blind.batch_submit = true;
         assert!(!Policy::for_config(&blind).batch_submit);
+    }
+
+    #[test]
+    fn engine_resolves_to_strided_without_predict() {
+        // The knob only matters where a predictor runs at all.
+        let mut passthrough = RuntimeConfig::new(Mode::OsOnly);
+        passthrough.engine = EngineKind::Correlation;
+        assert_eq!(Policy::for_config(&passthrough).engine, EngineKind::Strided);
+
+        let mut fetchall = RuntimeConfig::new(Mode::FetchAllOpt);
+        fetchall.engine = EngineKind::Adaptive;
+        assert_eq!(Policy::for_config(&fetchall).engine, EngineKind::Strided);
+
+        let mut predict = RuntimeConfig::new(Mode::Predict);
+        predict.engine = EngineKind::Correlation;
+        assert_eq!(Policy::for_config(&predict).engine, EngineKind::Correlation);
+        assert_eq!(
+            Policy::for_config(&RuntimeConfig::new(Mode::PredictOpt)).engine,
+            EngineKind::Strided
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 use std::sync::atomic::Ordering;
 
+use predict::{AccessObservation, PredictionEngine, PrefetchDecision};
 use simclock::ThreadClock;
 use simos::{IoError, ReadOutcome, PAGE_SIZE};
 
@@ -128,9 +129,10 @@ pub(crate) struct ReadCtx {
     /// cache-probe stage, consumed by the account stage's staleness
     /// check).
     claimed: u64,
-    /// Predictor output (set by the predict stage, consumed by the
-    /// prefetch-plan stage).
-    prediction: Option<Prediction>,
+    /// Engine output (set by the predict stage, consumed by the
+    /// prefetch-plan stage): the strided prediction, any mined
+    /// correlation runs, and mining/duel bookkeeping.
+    decision: PrefetchDecision,
     /// Virtual time the current stage started (stage-latency base).
     stage_start_ns: u64,
 }
@@ -242,16 +244,18 @@ impl CpFile {
             entry_ns,
             tracing,
             claimed: 0,
-            prediction: None,
+            decision: PrefetchDecision::default(),
             stage_start_ns: entry_ns,
         };
         ctx.close_stage(self, PipelineStage::Classify, clock.now());
         ctx
     }
 
-    /// Stage 2 — predict: one predictor step per intercepted access
-    /// (cheap, §4.6's per-descriptor pattern classification), plus the
-    /// pattern-flip trace event.
+    /// Stage 2 — predict: one engine step per intercepted access (cheap,
+    /// §4.6's per-descriptor pattern classification, generalised to the
+    /// pluggable engines), plus the pattern-flip trace event. The strided
+    /// engine's step is the historical predictor step exactly — one clock
+    /// advance, one `on_access`, nothing else.
     fn stage_predict(&self, clock: &mut ThreadClock, ctx: &mut ReadCtx) {
         let runtime = &self.runtime;
         let inner = &runtime.inner;
@@ -259,15 +263,15 @@ impl CpFile {
             clock.advance(inner.os.config().costs.predictor_step_ns);
             let aggressive_ok =
                 inner.policy.features.aggressive && runtime.aggressive_allowed(clock.now());
-            ctx.prediction = Some(self.predictor.lock().on_access(
-                ctx.p0,
-                ctx.pages,
+            ctx.decision = self.engine.lock().observe(&AccessObservation {
+                page: ctx.p0,
+                pages: ctx.pages,
                 aggressive_ok,
-                inner.config.max_prefetch_pages,
-            ));
+                max_prefetch_pages: inner.config.max_prefetch_pages,
+            });
         }
         if ctx.tracing {
-            if let Some(pred) = &ctx.prediction {
+            if let Some(pred) = &ctx.decision.prediction {
                 let index = pred.pattern.index();
                 let prev = self.last_pattern.swap(index, Ordering::Relaxed);
                 if prev != index {
@@ -290,9 +294,13 @@ impl CpFile {
     /// at syscall entry, so the prefetch stream overlaps the demand fill
     /// instead of trailing it.
     fn stage_prefetch_plan(&self, clock: &mut ThreadClock, ctx: &mut ReadCtx) {
-        if let Some(pred) = ctx.prediction.take() {
+        let decision = std::mem::take(&mut ctx.decision);
+        if let Some(pred) = decision.prediction {
             self.paced_prefetch(clock, pred, ctx.p0, ctx.p1);
         }
+        // Correlation runs, duel bookkeeping, deferred mining — all empty
+        // for the strided engine, so the default path is unchanged.
+        self.apply_engine_decision(clock, &decision);
         // Batched submission: expired batches ride the next intercepted
         // read. One relaxed load when nothing is due (or batching is off).
         self.runtime.flush_due_batches(clock);
@@ -440,6 +448,13 @@ impl CpFile {
                 PostReadHook::FincorePoll => self.hook_fincore_poll(clock, ctx),
                 PostReadHook::MemoryWatcher => runtime.maybe_evict(clock, self.file.ino),
             }
+        }
+
+        // Engines that learn from prefetch quality see the per-file
+        // timely/late/wasted delta here (no-op for the strided engine, no
+        // virtual time charged either way).
+        if !ctx.is_write {
+            self.maybe_feed_quality();
         }
 
         self.finish_io(clock, outcome, ctx);

@@ -63,6 +63,17 @@ pub struct LibStats {
     /// Syscall crossings batching avoided: for a flush of N entries,
     /// N-1 crossings the unbatched path would have paid.
     pub batch_crossings_saved: Counter,
+    /// Correlation-mined prefetch runs issued by the prediction engine
+    /// (zero under the strided default, which emits no association runs).
+    pub engine_assoc_runs: Counter,
+    /// Pages those association runs scheduled (after memory clamping).
+    pub engine_assoc_pages: Counter,
+    /// Deferred association-mining passes dispatched to the worker pool.
+    pub engine_mining_passes: Counter,
+    /// Adaptive-engine duel windows closed (shadow scoreboards compared).
+    pub engine_duels: Counter,
+    /// Adaptive-engine ownership changes (a duel crowned a new engine).
+    pub engine_ownership_flips: Counter,
 }
 
 impl LibStats {

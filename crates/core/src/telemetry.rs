@@ -115,6 +115,19 @@ pub struct RuntimeReport {
     pub ra_batch_calls: u64,
     /// Entries per flushed batch (SQ occupancy at flush time).
     pub batch_occupancy: HistogramSnapshot,
+    /// Stable name of the prediction engine new descriptors use
+    /// ([`predict::EngineKind::name`], policy-resolved).
+    pub engine: &'static str,
+    /// Correlation-mined prefetch runs the engine issued.
+    pub engine_assoc_runs: u64,
+    /// Pages those association runs scheduled.
+    pub engine_assoc_pages: u64,
+    /// Deferred mining passes dispatched to the worker pool.
+    pub engine_mining_passes: u64,
+    /// Adaptive duel windows closed.
+    pub engine_duels: u64,
+    /// Adaptive ownership changes.
+    pub engine_ownership_flips: u64,
     /// Per-stage virtual-time cost of the staged read pipeline, in
     /// [`PipelineStage::all`] order as `(stage name, distribution)`.
     pub stage_latency: Vec<(&'static str, HistogramSnapshot)>,
@@ -180,6 +193,12 @@ impl RuntimeReport {
             batch_crossings_saved: stats.batch_crossings_saved.get(),
             ra_batch_calls: os.stats().ra_batch_calls.get(),
             batch_occupancy: metrics.batch_occupancy.snapshot(),
+            engine: runtime.inner.policy.engine.name(),
+            engine_assoc_runs: stats.engine_assoc_runs.get(),
+            engine_assoc_pages: stats.engine_assoc_pages.get(),
+            engine_mining_passes: stats.engine_mining_passes.get(),
+            engine_duels: stats.engine_duels.get(),
+            engine_ownership_flips: stats.engine_ownership_flips.get(),
             stage_latency: PipelineStage::all()
                 .iter()
                 .map(|&stage| (stage.name(), metrics.stage_hist(stage).snapshot()))
@@ -295,6 +314,20 @@ impl RuntimeReport {
                 .saturating_sub(earlier.batch_crossings_saved),
             ra_batch_calls: self.ra_batch_calls.saturating_sub(earlier.ra_batch_calls),
             batch_occupancy: self.batch_occupancy.delta(&earlier.batch_occupancy),
+            engine: self.engine,
+            engine_assoc_runs: self
+                .engine_assoc_runs
+                .saturating_sub(earlier.engine_assoc_runs),
+            engine_assoc_pages: self
+                .engine_assoc_pages
+                .saturating_sub(earlier.engine_assoc_pages),
+            engine_mining_passes: self
+                .engine_mining_passes
+                .saturating_sub(earlier.engine_mining_passes),
+            engine_duels: self.engine_duels.saturating_sub(earlier.engine_duels),
+            engine_ownership_flips: self
+                .engine_ownership_flips
+                .saturating_sub(earlier.engine_ownership_flips),
             stage_latency: self
                 .stage_latency
                 .iter()
@@ -411,6 +444,19 @@ impl RuntimeReport {
         push_field(&mut out, "crossings_saved", self.batch_crossings_saved);
         push_field(&mut out, "ra_batch_calls", self.ra_batch_calls);
         out.push_str(&json_hist("occupancy", &self.batch_occupancy));
+        out.push_str("},");
+        // Prediction-engine accounting (all-zero under the strided
+        // default, so the section's presence never depends on the knob).
+        out.push_str("\"engines\":{");
+        out.push_str(&format!("\"selected\":\"{}\",", json_escape(self.engine)));
+        push_field(&mut out, "assoc_runs", self.engine_assoc_runs);
+        push_field(&mut out, "assoc_pages", self.engine_assoc_pages);
+        push_field(&mut out, "mining_passes", self.engine_mining_passes);
+        push_field(&mut out, "duels", self.engine_duels);
+        out.push_str(&format!(
+            "\"ownership_flips\":{}",
+            self.engine_ownership_flips
+        ));
         out.push_str("},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
@@ -594,6 +640,18 @@ impl fmt::Display for RuntimeReport {
                 self.batch_flush_full,
                 self.batch_flush_deadline,
                 self.batch_flush_explicit
+            )?;
+        }
+        if self.engine != "strided" || self.engine_assoc_runs > 0 || self.engine_mining_passes > 0 {
+            writeln!(
+                f,
+                "engines    : {} selected, {} assoc runs ({} pages), {} mining passes, {} duels, {} ownership flips",
+                self.engine,
+                self.engine_assoc_runs,
+                self.engine_assoc_pages,
+                self.engine_mining_passes,
+                self.engine_duels,
+                self.engine_ownership_flips
             )?;
         }
         write!(f, "")

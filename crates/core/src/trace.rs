@@ -211,6 +211,15 @@ pub enum TraceEventKind {
         /// What triggered the flush.
         reason: FlushReason,
     },
+    /// The adaptive engine's duel crowned a new owner for a descriptor's
+    /// prefetch decisions (the per-file engine-selection timeline).
+    EngineOwner {
+        /// File whose descriptor changed owners.
+        ino: InodeId,
+        /// Stable name of the engine now owning decisions
+        /// ([`predict::EngineKind::name`]).
+        engine: &'static str,
+    },
 }
 
 impl TraceEventKind {
@@ -232,6 +241,7 @@ impl TraceEventKind {
             TraceEventKind::VisibilityDowngraded { .. } => "visibility-downgraded",
             TraceEventKind::ReadError { .. } => "read-error",
             TraceEventKind::BatchFlushed { .. } => "batch-flushed",
+            TraceEventKind::EngineOwner { .. } => "engine-owner",
         }
     }
 }
@@ -365,6 +375,9 @@ impl fmt::Display for TraceEvent {
                 reason,
             } => {
                 write!(f, "runs={} pages={} reason={}", runs, pages, reason.name())
+            }
+            TraceEventKind::EngineOwner { ino, engine } => {
+                write!(f, "ino={} engine={engine}", ino.0)
             }
         }
     }

@@ -1,0 +1,490 @@
+//! MITHRIL-style correlation prefetching.
+//!
+//! The strided counter (§4.6) is blind to *recurring but non-sequential*
+//! access: a zipfian key-value workload re-reads the same index-page →
+//! data-page chains over and over, yet every chain hop looks like a random
+//! jump. This engine mines those chains into a bounded block-association
+//! table and, on the hot path, does nothing more than one ordered-map
+//! lookup to turn a learned association into explicit prefetch runs.
+//!
+//! Structure (after MITHRIL's mining/filtering split):
+//!
+//! * a **history ring** of the most recent `(block, span)` observations,
+//!   capped at [`CorrelationConfig::history`] entries — the only state the
+//!   hot path writes;
+//! * an **association table** `block → [successor; 4]` capped at
+//!   [`CorrelationConfig::max_assocs`] entries, evicted by combined
+//!   recency + frequency score — the only state the hot path reads;
+//! * a **mining pass** ([`PredictionEngine::mine`]) that folds the ring
+//!   into the table. The runtime schedules it on the worker pool every
+//!   [`CorrelationConfig::mine_interval`] observations, so table
+//!   maintenance is charged to background virtual time, not the read path.
+//!
+//! All state lives in ordered containers (`BTreeMap`), so mining and
+//! eviction are deterministic and same-seed runs stay byte-identical.
+
+use std::collections::BTreeMap;
+
+use crate::{
+    AccessObservation, EngineKind, PredictionEngine, PrefetchDecision, PrefetchRun, QualityFeedback,
+};
+
+/// Successor slots kept per association-table entry.
+const SUCCESSOR_SLOTS: usize = 4;
+
+/// How many observations a table entry's frequency extends its lifetime
+/// by, relative to pure recency, when the table is over capacity.
+const FREQUENCY_LIFETIME_BONUS: u64 = 16;
+
+/// Tuning for the correlation miner. Defaults bound the engine to a few
+/// tens of KiB per file descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationConfig {
+    /// History-ring capacity in observations (bounded memory; overflow
+    /// drops the oldest unmined entries).
+    pub history: usize,
+    /// Association-table capacity in entries; recency+frequency eviction
+    /// keeps it at or under this.
+    pub max_assocs: usize,
+    /// Observations between background mining passes.
+    pub mine_interval: u64,
+    /// Minimum times a successor must have followed a block before it is
+    /// prefetched.
+    pub min_support: u32,
+    /// Cap on the pages prefetched per learned successor.
+    pub max_span_pages: u64,
+}
+
+impl Default for CorrelationConfig {
+    fn default() -> Self {
+        Self {
+            history: 512,
+            max_assocs: 4096,
+            mine_interval: 64,
+            min_support: 2,
+            max_span_pages: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Successor {
+    block: u64,
+    span: u64,
+    count: u32,
+}
+
+#[derive(Debug, Clone, Default)]
+struct AssocEntry {
+    successors: Vec<Successor>,
+    /// Total times this block was seen as a predecessor.
+    freq: u32,
+    /// Observation stamp of the last mining touch or lookup hit.
+    last_seen: u64,
+}
+
+/// Size and activity snapshot, used by tests and telemetry to check the
+/// memory caps hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrelationStats {
+    /// Live association-table entries.
+    pub assoc_entries: usize,
+    /// Unmined history-ring entries.
+    pub pending: usize,
+    /// Consecutive-pair associations digested so far.
+    pub mined_pairs: u64,
+    /// History observations dropped because mining fell behind the ring.
+    pub history_dropped: u64,
+}
+
+/// The correlation prefetch engine. See the module docs for structure.
+#[derive(Debug, Clone)]
+pub struct CorrelationEngine {
+    config: CorrelationConfig,
+    /// Unmined observations, oldest first. Bounded by `config.history`.
+    ring: Vec<(u64, u64)>,
+    table: BTreeMap<u64, AssocEntry>,
+    observations: u64,
+    since_mine: u64,
+    mined_pairs: u64,
+    history_dropped: u64,
+    /// Feedback-driven support adjustment: sustained waste raises the
+    /// support bar, sustained timely hits lower it back.
+    support_boost: u32,
+    feedback_timely: u64,
+    feedback_wasted: u64,
+}
+
+impl CorrelationEngine {
+    /// Creates an engine with the given tuning.
+    pub fn new(config: CorrelationConfig) -> Self {
+        assert!(config.history >= 2, "history ring needs at least 2 slots");
+        assert!(config.max_assocs >= 1, "association table needs capacity");
+        assert!(config.mine_interval >= 1, "mine interval must be positive");
+        Self {
+            config,
+            ring: Vec::new(),
+            table: BTreeMap::new(),
+            observations: 0,
+            since_mine: 0,
+            mined_pairs: 0,
+            history_dropped: 0,
+            support_boost: 0,
+            feedback_timely: 0,
+            feedback_wasted: 0,
+        }
+    }
+
+    /// Current size/activity snapshot.
+    pub fn stats(&self) -> CorrelationStats {
+        CorrelationStats {
+            assoc_entries: self.table.len(),
+            pending: self.ring.len(),
+            mined_pairs: self.mined_pairs,
+            history_dropped: self.history_dropped,
+        }
+    }
+
+    /// Effective support threshold after feedback adjustment.
+    fn effective_support(&self) -> u32 {
+        self.config.min_support + self.support_boost
+    }
+
+    fn note_pair(&mut self, pred: u64, succ: u64, span: u64) {
+        let stamp = self.observations;
+        let entry = self.table.entry(pred).or_default();
+        entry.freq = entry.freq.saturating_add(1);
+        entry.last_seen = stamp;
+        if let Some(slot) = entry.successors.iter_mut().find(|s| s.block == succ) {
+            slot.count = slot.count.saturating_add(1);
+            slot.span = slot.span.max(span);
+            return;
+        }
+        if entry.successors.len() < SUCCESSOR_SLOTS {
+            entry.successors.push(Successor {
+                block: succ,
+                span,
+                count: 1,
+            });
+            return;
+        }
+        // All slots taken: replace the weakest successor (lowest count,
+        // lowest block breaking ties — deterministic).
+        if let Some(weakest) = entry
+            .successors
+            .iter_mut()
+            .min_by_key(|s| (s.count, s.block))
+        {
+            if weakest.count <= 1 {
+                *weakest = Successor {
+                    block: succ,
+                    span,
+                    count: 1,
+                };
+            }
+        }
+    }
+
+    /// Evicts table entries down to capacity by the lowest
+    /// recency+frequency score (`last_seen + freq * bonus`), ties broken
+    /// by block id — fully deterministic under `BTreeMap` iteration.
+    fn enforce_cap(&mut self) {
+        while self.table.len() > self.config.max_assocs {
+            let victim = self
+                .table
+                .iter()
+                .min_by_key(|(block, e)| {
+                    (
+                        e.last_seen
+                            .saturating_add(u64::from(e.freq) * FREQUENCY_LIFETIME_BONUS),
+                        **block,
+                    )
+                })
+                .map(|(block, _)| *block);
+            match victim {
+                Some(block) => {
+                    self.table.remove(&block);
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn mine_pass(&mut self) -> u64 {
+        let pending = std::mem::take(&mut self.ring);
+        let mut pairs = 0;
+        for window in pending.windows(2) {
+            let (pred, _) = window[0];
+            let (succ, span) = window[1];
+            if pred != succ {
+                self.note_pair(pred, succ, span);
+                pairs += 1;
+            }
+        }
+        // Keep the last observation as the bridge into the next segment so
+        // the pair spanning two mining passes is not lost.
+        if let Some(&last) = pending.last() {
+            self.ring.push(last);
+        }
+        self.enforce_cap();
+        self.mined_pairs += pairs;
+        self.since_mine = 0;
+        pairs
+    }
+}
+
+impl PredictionEngine for CorrelationEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Correlation
+    }
+
+    fn observe(&mut self, obs: &AccessObservation) -> PrefetchDecision {
+        self.observations += 1;
+        self.since_mine += 1;
+        if self.ring.len() >= self.config.history {
+            // Mining has fallen behind; drop the oldest half so the ring
+            // stays bounded without thrashing one-in-one-out.
+            let drop = self.config.history / 2;
+            self.ring.drain(..drop);
+            self.history_dropped += drop as u64;
+        }
+        self.ring.push((obs.page, obs.pages));
+
+        let mut decision = PrefetchDecision {
+            mine_due: self.since_mine >= self.config.mine_interval,
+            ..PrefetchDecision::default()
+        };
+        let support = self.effective_support();
+        let stamp = self.observations;
+        if let Some(entry) = self.table.get_mut(&obs.page) {
+            entry.last_seen = stamp;
+            let freq = entry.freq.max(1);
+            for s in &entry.successors {
+                if s.count < support {
+                    continue;
+                }
+                let pages = s
+                    .span
+                    .min(self.config.max_span_pages)
+                    .min(obs.max_prefetch_pages);
+                if pages == 0 {
+                    continue;
+                }
+                decision.runs.push(PrefetchRun {
+                    start: s.block,
+                    pages,
+                });
+                let strength = f64::from(s.count) / f64::from(freq);
+                if strength > decision.confidence {
+                    decision.confidence = strength;
+                }
+            }
+        }
+        decision
+    }
+
+    fn feedback(&mut self, fb: &QualityFeedback) {
+        self.feedback_timely += fb.timely + fb.late;
+        self.feedback_wasted += fb.wasted;
+        // Sustained waste beyond consumption raises the support bar (up to
+        // +2); consumption pulling 4x ahead relaxes it again. Tallies reset
+        // at each adjustment so the bar tracks recent behaviour.
+        if self.feedback_wasted > self.feedback_timely + 64 {
+            self.support_boost = (self.support_boost + 1).min(2);
+            self.feedback_timely = 0;
+            self.feedback_wasted = 0;
+        } else if self.support_boost > 0 && self.feedback_timely > 4 * (self.feedback_wasted + 16) {
+            self.support_boost -= 1;
+            self.feedback_timely = 0;
+            self.feedback_wasted = 0;
+        }
+    }
+
+    fn wants_feedback(&self) -> bool {
+        true
+    }
+
+    fn mine(&mut self) -> u64 {
+        self.mine_pass()
+    }
+
+    fn reset(&mut self) {
+        self.ring.clear();
+        self.table.clear();
+        self.since_mine = 0;
+        self.support_boost = 0;
+        self.feedback_timely = 0;
+        self.feedback_wasted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(page: u64, pages: u64) -> AccessObservation {
+        AccessObservation {
+            page,
+            pages,
+            aggressive_ok: false,
+            max_prefetch_pages: 16_384,
+        }
+    }
+
+    fn drive_chain(engine: &mut CorrelationEngine, rounds: u64) {
+        // A recurring chain: 100 → 500 → 900, repeated.
+        for _ in 0..rounds {
+            engine.observe(&obs(100, 1));
+            engine.observe(&obs(500, 4));
+            engine.observe(&obs(900, 4));
+            engine.mine();
+        }
+    }
+
+    #[test]
+    fn learned_chain_emits_runs_with_support() {
+        let mut engine = CorrelationEngine::new(CorrelationConfig::default());
+        drive_chain(&mut engine, 3);
+        let decision = engine.observe(&obs(100, 1));
+        assert_eq!(decision.runs.len(), 1, "one learned successor");
+        assert_eq!(
+            decision.runs[0],
+            PrefetchRun {
+                start: 500,
+                pages: 4
+            }
+        );
+        assert!(decision.confidence > 0.0);
+        // The next hop is learned too.
+        let decision = engine.observe(&obs(500, 4));
+        assert!(decision.runs.iter().any(|r| r.start == 900));
+    }
+
+    #[test]
+    fn single_occurrence_is_below_support() {
+        let mut engine = CorrelationEngine::new(CorrelationConfig::default());
+        drive_chain(&mut engine, 1);
+        let decision = engine.observe(&obs(100, 1));
+        assert!(
+            decision.runs.is_empty(),
+            "support 1 < min_support 2 must not prefetch"
+        );
+    }
+
+    #[test]
+    fn association_table_respects_the_cap() {
+        let config = CorrelationConfig {
+            max_assocs: 32,
+            mine_interval: 8,
+            ..CorrelationConfig::default()
+        };
+        let mut engine = CorrelationEngine::new(config);
+        for i in 0..4096u64 {
+            engine.observe(&obs(i * 7, 1));
+            if i % 8 == 7 {
+                engine.mine();
+            }
+        }
+        engine.mine();
+        assert!(engine.stats().assoc_entries <= 32);
+        assert!(engine.stats().mined_pairs > 0);
+    }
+
+    #[test]
+    fn history_ring_stays_bounded_without_mining() {
+        let config = CorrelationConfig {
+            history: 64,
+            ..CorrelationConfig::default()
+        };
+        let mut engine = CorrelationEngine::new(config);
+        for i in 0..1000u64 {
+            engine.observe(&obs(i, 1));
+        }
+        let stats = engine.stats();
+        assert!(stats.pending <= 64);
+        assert!(stats.history_dropped > 0);
+    }
+
+    #[test]
+    fn mining_is_flagged_on_the_interval() {
+        let config = CorrelationConfig {
+            mine_interval: 4,
+            ..CorrelationConfig::default()
+        };
+        let mut engine = CorrelationEngine::new(config);
+        let mut due_at = Vec::new();
+        for i in 0..8u64 {
+            if engine.observe(&obs(i * 100, 1)).mine_due {
+                due_at.push(i);
+            }
+        }
+        assert_eq!(due_at, vec![3, 4, 5, 6, 7]);
+        engine.mine();
+        assert!(!engine.observe(&obs(900, 1)).mine_due);
+    }
+
+    #[test]
+    fn hot_entries_survive_eviction() {
+        let config = CorrelationConfig {
+            max_assocs: 8,
+            ..CorrelationConfig::default()
+        };
+        let mut engine = CorrelationEngine::new(config);
+        // One hot pair repeated, then a cold sweep that overflows the cap.
+        for _ in 0..16 {
+            engine.observe(&obs(100, 1));
+            engine.observe(&obs(500, 4));
+            engine.mine();
+        }
+        for i in 0..64u64 {
+            engine.observe(&obs(10_000 + i * 3, 1));
+        }
+        engine.mine();
+        assert!(engine.stats().assoc_entries <= 8);
+        let decision = engine.observe(&obs(100, 1));
+        assert!(
+            decision.runs.iter().any(|r| r.start == 500),
+            "frequent association must outlive a cold sweep"
+        );
+    }
+
+    #[test]
+    fn waste_feedback_raises_the_support_bar() {
+        let mut engine = CorrelationEngine::new(CorrelationConfig::default());
+        drive_chain(&mut engine, 2); // support == 2: exactly at the bar
+        assert!(!engine.observe(&obs(100, 1)).runs.is_empty());
+        engine.feedback(&QualityFeedback {
+            timely: 0,
+            late: 0,
+            wasted: 1_000,
+        });
+        assert!(
+            engine.observe(&obs(100, 1)).runs.is_empty(),
+            "sustained waste must raise the support threshold"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_identical_streams() {
+        let run = || {
+            let mut engine = CorrelationEngine::new(CorrelationConfig::default());
+            let mut state = 0xDEADBEEFu64;
+            let mut fingerprint = Vec::new();
+            for i in 0..2000u64 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let page = (state >> 33) % 256 * 10;
+                let d = engine.observe(&obs(page, 1));
+                if d.mine_due {
+                    engine.mine();
+                }
+                if i % 37 == 0 {
+                    fingerprint.push((page, d.runs.clone()));
+                }
+            }
+            (fingerprint, engine.stats())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -11,18 +11,23 @@
 //! * [`filebench`] — multi-instance Filebench personalities (seqread,
 //!   randread, metadata-heavy "mongodb", videoserver);
 //! * [`snappy`] — a real Snappy block-format codec and the parallel
-//!   file-compression workload.
+//!   file-compression workload;
+//! * [`kvprobe`] — a zipfian index-then-data probe stream (the pattern
+//!   the correlation prediction engine mines and the strided counter
+//!   cannot), driving the engine-comparison bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod filebench;
+pub mod kvprobe;
 pub mod micro;
 pub mod snappy;
 pub mod ycsb;
 pub mod zipf;
 
 pub use filebench::{run_filebench, FilebenchConfig, FilebenchResult, Personality};
+pub use kvprobe::{run_kvprobe, setup_kvprobe, KvProbeConfig, KvProbeResult};
 pub use micro::{run_micro, run_shared_rw, setup_micro, MicroConfig, MicroPattern, MicroResult};
 pub use snappy::{compress, decompress, run_snappy, SnappyConfig, SnappyError, SnappyResult};
 pub use ycsb::{run_ycsb, YcsbConfig, YcsbWorkload};

@@ -23,10 +23,13 @@ impl Zipfian {
     /// Panics if `n` is zero or `theta` is not in `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian needs a non-empty key space");
-        assert!(
-            (0.0..1.0).contains(&theta),
-            "theta {theta} must be in (0,1)"
-        );
+        // Strictly exclusive on both ends: theta = 0 degenerates to a
+        // uniform distribution the inversion constants are not defined
+        // for (eta divides by 1 - zeta2/zetan terms derived assuming
+        // skew), and theta = 1 makes alpha blow up. The old half-open
+        // `(0.0..1.0).contains` check let 0.0 slip through the
+        // documented contract.
+        assert!(theta > 0.0 && theta < 1.0, "theta {theta} must be in (0,1)");
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -172,5 +175,30 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_keyspace_rejected() {
         Zipfian::new(0, 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn zero_theta_rejected() {
+        // The documented contract is exclusive on both ends; 0.0 used to
+        // slip through the half-open range check.
+        Zipfian::new(1000, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0,1)")]
+    fn unit_theta_rejected() {
+        Zipfian::new(1000, 1.0);
+    }
+
+    #[test]
+    fn boundary_thetas_just_inside_are_accepted() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for theta in [1e-9, 1.0 - 1e-9] {
+            let zipf = Zipfian::new(1000, theta);
+            for _ in 0..1000 {
+                assert!(zipf.sample(&mut rng) < 1000);
+            }
+        }
     }
 }

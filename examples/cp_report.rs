@@ -9,7 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport, TraceEvent};
+use crossprefetch::{
+    EngineKind, Mode, Runtime, RuntimeConfig, RuntimeReport, TraceEvent, TraceEventKind,
+};
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,9 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FileSystem::new(FsKind::Ext4Like),
     );
     // Batched submission on, so the report's `batching` section carries
-    // real flush/merge/crossings-saved numbers.
+    // real flush/merge/crossings-saved numbers; the adaptive prediction
+    // engine, so the per-file ownership timeline below has transfers to
+    // show.
     let mut config = RuntimeConfig::new(Mode::PredictOpt);
     config.batch_submit = true;
+    config.engine = EngineKind::Adaptive;
     let runtime = Runtime::new(os, config);
     runtime.trace().set_enabled(true);
     let mut clock = runtime.new_clock();
@@ -47,6 +52,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         file.read_charge(&mut clock, (state % (63 << 20)) & !4095, chunk);
+    }
+
+    // A recurring far-jump chain on a second file: the strided counter
+    // learns nothing from it, the correlation miner learns the hops, and
+    // the adaptive duel transfers that file's ownership — the transfer
+    // shows up in the ownership timeline below.
+    let chain = runtime.create_sized(&mut clock, "/data/chain.bin", 16 << 20)?;
+    for _ in 0..128u64 {
+        for &page in &[100u64, 1600, 3200] {
+            chain.read_charge(&mut clock, page * 4096, 8192);
+        }
     }
 
     // Drain any still-staged submission batches before reporting.
@@ -82,6 +98,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- decision timeline (events per kind per ms slice) ---");
     print_timeline(&events);
+
+    // 4. Per-file engine ownership: every duel the adaptive selector
+    //    resolved with a change of winner, in virtual-time order.
+    println!("\n--- engine ownership timeline ---");
+    let mut transfers = 0;
+    for event in &events {
+        if let TraceEventKind::EngineOwner { ino, engine } = event.kind {
+            println!("{:>12} ns  ino={:<4} -> {engine}", event.ts_ns, ino.0);
+            transfers += 1;
+        }
+    }
+    if transfers == 0 {
+        println!("(no ownership transfers)");
+    }
     Ok(())
 }
 

@@ -7,10 +7,15 @@
 //! uses as the determinism smoke test.
 //!
 //! Run with:
-//! `cargo run --release --example fault_injection -- /tmp/faults.json [seed]`
+//! `cargo run --release --example fault_injection -- /tmp/faults.json [seed] [engine]`
+//!
+//! The optional third argument selects the prediction engine
+//! (`strided`, `correlation`, or `adaptive`; default `strided`), so the
+//! CI smoke can assert same-seed determinism once per engine.
 
 use crossprefetch::{
-    Device, DeviceConfig, FaultPlan, FileSystem, FsKind, Mode, Os, OsConfig, Runtime, RuntimeReport,
+    Device, DeviceConfig, EngineKind, FaultPlan, FileSystem, FsKind, Mode, Os, OsConfig, Runtime,
+    RuntimeConfig, RuntimeReport,
 };
 use simclock::{NS_PER_MS, NS_PER_US};
 
@@ -21,6 +26,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|s| s.parse())
         .transpose()?
         .unwrap_or(0xC0FFEE);
+    let engine = match std::env::args().nth(3).as_deref() {
+        None => EngineKind::Strided,
+        Some(name) => EngineKind::all()
+            .into_iter()
+            .find(|e| e.name() == name)
+            .ok_or_else(|| format!("unknown engine {name:?} (strided|correlation|adaptive)"))?,
+    };
 
     let plan = FaultPlan::seeded(seed)
         .with_prefetch_eio(0.10)
@@ -31,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Device::with_fault_plan(DeviceConfig::local_nvme(), plan),
         FileSystem::new(FsKind::Ext4Like),
     );
-    let runtime = Runtime::with_mode(os, Mode::PredictOpt);
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.engine = engine;
+    let runtime = Runtime::new(os, config);
     let mut clock = runtime.new_clock();
 
     // A sequential stream (exercises the worker retry ladder against
@@ -58,8 +72,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = report.to_json();
     println!("{json}");
     eprintln!(
-        "seed={seed:#x}: {} injected EIOs, {} retries, {} give-ups, \
+        "seed={seed:#x} engine={}: {} injected EIOs, {} retries, {} give-ups, \
          {} demand errors surfaced, {} spiked requests",
+        engine.name(),
         report.device_read_faults,
         report.prefetch_retries,
         report.prefetch_give_ups,
