@@ -191,6 +191,12 @@ pub struct RuntimeConfig {
     /// not full ([`crate::worker::FlushReason::Deadline`]) — bounds the
     /// staging latency a run can add to a prefetch.
     pub batch_deadline_ns: u64,
+    /// Exemplar reservoir depth per latency class for causal span tracing
+    /// ([`crate::span::SpanCollector`]): the slowest K reads of each class
+    /// keep their complete span tree. Sizing only — span *collection*
+    /// stays off until [`crate::span::SpanCollector::set_enabled`] flips
+    /// it on, and while off the read path pays one relaxed atomic load.
+    pub span_exemplars: usize,
 }
 
 impl RuntimeConfig {
@@ -227,6 +233,7 @@ impl RuntimeConfig {
             batch_submit: false,
             batch_max_runs: 8,
             batch_deadline_ns: 50 * simclock::NS_PER_US,
+            span_exemplars: 8,
         }
     }
 

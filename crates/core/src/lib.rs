@@ -57,6 +57,7 @@ pub mod predictor;
 pub mod range_tree;
 mod read_path;
 mod runtime;
+pub mod span;
 mod stats;
 pub mod telemetry;
 pub mod trace;
@@ -72,6 +73,10 @@ pub use predict::{
 pub use predictor::{AccessPattern, Direction, Prediction, Predictor, SEQ_BATCH_PAGES};
 pub use range_tree::{LockScope, RangeTree};
 pub use runtime::{CpFile, LibFile, Runtime};
+pub use span::{
+    CriticalPath, ReqId, SpanClassTotals, SpanCollector, SpanExemplar, SpanKind, SpanLeaf,
+    StageSelf,
+};
 pub use stats::LibStats;
 pub use telemetry::{RuntimeReport, TELEMETRY_SCHEMA_VERSION};
 pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};

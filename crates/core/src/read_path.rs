@@ -125,6 +125,10 @@ pub(crate) struct ReadCtx {
     /// Snapshot of `TraceLog::is_enabled` — one relaxed load per access;
     /// every emit site downstream is gated on this bool.
     tracing: bool,
+    /// Whether this access carries an open span frame — set when the
+    /// span collector is enabled (one relaxed load, the whole cost while
+    /// disabled) and this thread opened a frame for a non-write access.
+    spans: bool,
     /// Pages of the span the user-level view claimed cached (set by the
     /// cache-probe stage, consumed by the account stage's staleness
     /// check).
@@ -146,6 +150,9 @@ impl ReadCtx {
             .stage_hist(stage)
             .record(now.saturating_sub(self.stage_start_ns));
         self.stage_start_ns = now;
+        if self.spans {
+            crate::span::close_stage(stage, now);
+        }
     }
 }
 
@@ -234,6 +241,19 @@ impl CpFile {
         }
         let p0 = offset / PAGE_SIZE;
         let p1 = (offset + len.max(1)).div_ceil(PAGE_SIZE);
+        // Same contract as tracing: one relaxed load while disabled. A
+        // frame only opens for reads (writes traverse untraced), and only
+        // if this thread has no frame in flight already.
+        let spans = !is_write
+            && inner.spans.is_enabled()
+            && crate::span::begin(
+                inner.spans.next_req_id(),
+                self.file.ino.0,
+                p0,
+                p1 - p0,
+                entry_ns,
+                self.runtime.registry_wait_now(),
+            );
         let mut ctx = ReadCtx {
             offset,
             len,
@@ -243,6 +263,7 @@ impl CpFile {
             pages: p1 - p0,
             entry_ns,
             tracing,
+            spans,
             claimed: 0,
             decision: PrefetchDecision::default(),
             stage_start_ns: entry_ns,
@@ -532,6 +553,9 @@ impl CpFile {
     fn note_read_error<E>(&self, clock: &mut ThreadClock, err: E, ctx: &ReadCtx) -> E {
         let inner = &self.runtime.inner;
         inner.stats.read_errors.incr();
+        if ctx.spans {
+            crate::span::abort();
+        }
         if ctx.tracing {
             inner.trace.emit(
                 clock.now(),
@@ -567,6 +591,20 @@ impl CpFile {
         } else {
             let class = ReadClass::of(outcome);
             inner.metrics.read_hist(class).record(latency_ns);
+            if ctx.spans {
+                // Close the frame here, where the class is known; the
+                // caller's Account close_stage then no-ops on the spent
+                // frame. The clock does not advance between the two, so
+                // the critical-path buckets still sum to `latency_ns`.
+                if let Some(exemplar) = crate::span::finish(
+                    clock.now(),
+                    PipelineStage::Account,
+                    self.runtime.registry_wait_now(),
+                    class,
+                ) {
+                    inner.spans.complete(exemplar);
+                }
+            }
             if ctx.tracing {
                 inner.trace.emit(
                     clock.now(),

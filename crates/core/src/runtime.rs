@@ -17,6 +17,7 @@ use crate::config::{Features, Mode, RuntimeConfig};
 use crate::metrics::RuntimeMetrics;
 use crate::policy::{OpenAction, Policy};
 use crate::range_tree::{LockScope, RangeTree};
+use crate::span::{CrossLayerSink, SpanCollector, SpanKind};
 use crate::stats::LibStats;
 use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
 use crate::worker::{FlushReason, SubmissionQueue, WorkerPool};
@@ -141,6 +142,9 @@ pub(crate) struct RuntimeInner {
     pub(crate) trace: Arc<TraceLog>,
     /// Always-on latency distributions.
     pub(crate) metrics: RuntimeMetrics,
+    /// Causal span collector (disabled by default): tail exemplars with
+    /// critical-path attribution for the slowest reads per latency class.
+    pub(crate) spans: Arc<SpanCollector>,
     /// One-way degradation latch: set when the kernel rejects
     /// `readahead_info` (`IoError::Unsupported`). Once set, every
     /// visibility prefetch is issued as blind `readahead(2)` instead —
@@ -161,9 +165,15 @@ impl Runtime {
             config.batch_deadline_ns,
         );
         let trace = Arc::new(TraceLog::default());
+        let spans = Arc::new(SpanCollector::new(config.span_exemplars));
         // Bridge kernel-side decisions (readahead_info, RA window growth,
-        // reclaim) into the same trace log. First runtime attached wins.
-        os.set_trace_sink(Arc::clone(&trace) as Arc<dyn simos::OsTraceSink>);
+        // reclaim) into the same trace log, and kernel-side wait/service
+        // windows into the calling read's span frame. First runtime
+        // attached wins.
+        os.set_trace_sink(Arc::new(CrossLayerSink {
+            trace: Arc::clone(&trace),
+            spans: Arc::clone(&spans),
+        }) as Arc<dyn simos::OsTraceSink>);
         Self {
             inner: Arc::new(RuntimeInner {
                 os,
@@ -178,6 +188,7 @@ impl Runtime {
                 aggressive_pause_until: AtomicU64::new(0),
                 trace,
                 metrics: RuntimeMetrics::default(),
+                spans,
                 degraded: AtomicBool::new(false),
             }),
         }
@@ -234,6 +245,19 @@ impl Runtime {
     /// The always-on latency histograms.
     pub fn metrics(&self) -> &RuntimeMetrics {
         &self.inner.metrics
+    }
+
+    /// The causal span collector (disabled by default; turn on with
+    /// [`SpanCollector::set_enabled`]).
+    pub fn spans(&self) -> &Arc<SpanCollector> {
+        &self.inner.spans
+    }
+
+    /// Wall-clock registry-shard wait observed runtime-wide right now
+    /// (lib files + OS caches + OS fds) — sampled at span begin/end to
+    /// attribute real contention to in-flight exemplars.
+    pub(crate) fn registry_wait_now(&self) -> u64 {
+        self.inner.files.total_wait_ns() + self.inner.os.registry_wait_ns()
     }
 
     /// A fresh worker clock attached to the OS global clock.
@@ -637,6 +661,7 @@ impl Runtime {
             .worker_queue_ns
             .record(dispatch.queue_wait_ns());
         inner.metrics.prefetch_ns.record(dispatch.latency_ns());
+        crate::span::record_leaf(SpanKind::BatchFlush, dispatch.latency_ns(), dispatch.end_ns);
     }
 
     /// Worker half of the batched path: one vectored syscall covers the
@@ -683,7 +708,9 @@ impl Runtime {
                                 attempt: 1,
                             },
                         );
-                        clock.advance(inner.config.prefetch_retry_backoff_ns.max(1));
+                        let backoff = inner.config.prefetch_retry_backoff_ns.max(1);
+                        clock.advance(backoff);
+                        crate::span::record_leaf(SpanKind::RetryBackoff, backoff, clock.now());
                         self.issue_prefetch(
                             clock,
                             &run.file,
@@ -837,6 +864,7 @@ impl Runtime {
                                 },
                             );
                             clock.advance(backoff);
+                            crate::span::record_leaf(SpanKind::RetryBackoff, backoff, clock.now());
                             backoff = backoff.saturating_mul(2);
                         }
                     }

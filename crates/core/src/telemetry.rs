@@ -13,7 +13,8 @@ use std::fmt;
 use simclock::HistogramSnapshot;
 use simos::{PrefetchQuality, RegistryStats};
 
-use crate::metrics::PipelineStage;
+use crate::metrics::{PipelineStage, ReadClass};
+use crate::span::SpanClassTotals;
 use crate::Runtime;
 
 /// Version stamped into every JSON export; bump on breaking layout change.
@@ -131,6 +132,18 @@ pub struct RuntimeReport {
     /// Per-stage virtual-time cost of the staged read pipeline, in
     /// [`PipelineStage::all`] order as `(stage name, distribution)`.
     pub stage_latency: Vec<(&'static str, HistogramSnapshot)>,
+    /// Whether causal span tracing was enabled at snapshot time.
+    pub spans_enabled: bool,
+    /// Reads that completed with a span frame.
+    pub spans_reads_traced: u64,
+    /// Exemplars admitted into the tail reservoirs.
+    pub spans_exemplars_admitted: u64,
+    /// Exemplars displaced from full reservoirs by slower reads.
+    pub spans_exemplars_evicted: u64,
+    /// Per-class critical-path totals as `(class name, totals)`, in
+    /// cache-hit / prefetch-hit / demand-miss order (all-zero while span
+    /// tracing is off, so the section's presence never depends on it).
+    pub spans_classes: Vec<(&'static str, SpanClassTotals)>,
     /// Real-lock contention on the CROSS-LIB per-file registry shards
     /// (wall-clock, contended acquisitions only; zero single-threaded).
     pub lib_registry: RegistryStats,
@@ -203,6 +216,18 @@ impl RuntimeReport {
                 .iter()
                 .map(|&stage| (stage.name(), metrics.stage_hist(stage).snapshot()))
                 .collect(),
+            spans_enabled: runtime.spans().is_enabled(),
+            spans_reads_traced: runtime.spans().reads_traced(),
+            spans_exemplars_admitted: runtime.spans().exemplars_admitted(),
+            spans_exemplars_evicted: runtime.spans().exemplars_evicted(),
+            spans_classes: [
+                ReadClass::CacheHit,
+                ReadClass::PrefetchHit,
+                ReadClass::DemandMiss,
+            ]
+            .iter()
+            .map(|&class| (class.name(), runtime.spans().class_totals(class)))
+            .collect(),
             lib_registry: runtime.file_registry_stats(),
             os_cache_registry: os.cache_registry_stats(),
             os_fd_registry: os.fd_registry_stats(),
@@ -343,6 +368,31 @@ impl RuntimeReport {
                     }
                 })
                 .collect(),
+            spans_enabled: self.spans_enabled,
+            spans_reads_traced: self
+                .spans_reads_traced
+                .saturating_sub(earlier.spans_reads_traced),
+            spans_exemplars_admitted: self
+                .spans_exemplars_admitted
+                .saturating_sub(earlier.spans_exemplars_admitted),
+            spans_exemplars_evicted: self
+                .spans_exemplars_evicted
+                .saturating_sub(earlier.spans_exemplars_evicted),
+            spans_classes: self
+                .spans_classes
+                .iter()
+                .map(|(name, totals)| {
+                    let prior = earlier
+                        .spans_classes
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, t)| t);
+                    match prior {
+                        Some(t) => (*name, totals.delta(t)),
+                        None => (*name, *totals),
+                    }
+                })
+                .collect(),
             lib_registry: self.lib_registry.delta(&earlier.lib_registry),
             os_cache_registry: self.os_cache_registry.delta(&earlier.os_cache_registry),
             os_fd_registry: self.os_fd_registry.delta(&earlier.os_fd_registry),
@@ -458,6 +508,35 @@ impl RuntimeReport {
             self.engine_ownership_flips
         ));
         out.push_str("},");
+        // Causal span tracing (all-zero while disabled — the additive
+        // section is always present, its content never perturbs the
+        // pre-span byte layout of the sections above).
+        out.push_str("\"spans\":{");
+        out.push_str(&format!("\"enabled\":{},", self.spans_enabled));
+        push_field(&mut out, "reads_traced", self.spans_reads_traced);
+        push_field(
+            &mut out,
+            "exemplars_admitted",
+            self.spans_exemplars_admitted,
+        );
+        push_field(&mut out, "exemplars_evicted", self.spans_exemplars_evicted);
+        out.push_str("\"classes\":{");
+        for (i, (name, totals)) in self.spans_classes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"reads\":{},\"stage_compute_ns\":{},\"lock_wait_ns\":{},\"queue_wait_ns\":{},\"device_service_ns\":{},\"retry_backoff_ns\":{}}}",
+                name,
+                totals.reads,
+                totals.path.stage_compute_ns,
+                totals.path.lock_wait_ns,
+                totals.path.queue_wait_ns,
+                totals.path.device_service_ns,
+                totals.path.retry_backoff_ns
+            ));
+        }
+        out.push_str("}},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
         // determinism checks across shard counts compare the prefix.
@@ -596,6 +675,11 @@ impl fmt::Display for RuntimeReport {
                 ""
             }
         )?;
+        writeln!(
+            f,
+            "trace      : {} ring-dropped events",
+            self.trace_events_dropped
+        )?;
         writeln!(f, "latency    :")?;
         for (name, snap) in [
             ("read/cache-hit", &self.read_cache_hit),
@@ -653,6 +737,32 @@ impl fmt::Display for RuntimeReport {
                 self.engine_duels,
                 self.engine_ownership_flips
             )?;
+        }
+        if self.spans_reads_traced > 0 {
+            writeln!(
+                f,
+                "spans      : {} reads traced, {} exemplars kept ({} displaced)",
+                self.spans_reads_traced,
+                self.spans_exemplars_admitted
+                    .saturating_sub(self.spans_exemplars_evicted),
+                self.spans_exemplars_evicted
+            )?;
+            for (name, totals) in &self.spans_classes {
+                if totals.reads == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {:<16} n={:<8} compute={} ns  lock={} ns  queue={} ns  device={} ns  backoff={} ns",
+                    name,
+                    totals.reads,
+                    totals.path.stage_compute_ns,
+                    totals.path.lock_wait_ns,
+                    totals.path.queue_wait_ns,
+                    totals.path.device_service_ns,
+                    totals.path.retry_backoff_ns
+                )?;
+            }
         }
         write!(f, "")
     }
@@ -712,6 +822,7 @@ mod tests {
             "device",
             "lock waits",
             "faults",
+            "trace",
             "latency",
         ] {
             assert!(rendered.contains(section), "missing section {section}");

@@ -135,15 +135,29 @@ impl WorkerPool {
     {
         let access = self.servers[worker].access(enqueue_ns, self.dispatch_ns + estimated_ns);
         let mut clock = ThreadClock::detached_at(Arc::clone(&self.global), access.start_ns);
-        job(&mut clock);
-        Dispatch {
+        // The job runs on the caller's stack but on the worker's detached
+        // timeline: span leaves it records are off the caller's critical
+        // path and must attach as async children.
+        crate::span::suspended(|| job(&mut clock));
+        let dispatch = Dispatch {
             worker,
             enqueue_ns,
             start_ns: access.start_ns,
             // The worker stays occupied through its reservation even when
             // the job itself issues faster than estimated.
             end_ns: clock.now().max(access.end_ns),
-        }
+        };
+        crate::span::record_leaf(
+            crate::span::SpanKind::WorkerQueueWait,
+            dispatch.queue_wait_ns(),
+            dispatch.start_ns,
+        );
+        crate::span::record_leaf(
+            crate::span::SpanKind::WorkerRun,
+            dispatch.end_ns.saturating_sub(dispatch.start_ns),
+            dispatch.end_ns,
+        );
+        dispatch
     }
 
     /// Total queueing delay requests have experienced across workers.

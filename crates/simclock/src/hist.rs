@@ -167,10 +167,17 @@ impl HistogramSnapshot {
             if seen + n >= rank {
                 let lo = bucket_floor(i);
                 let hi = bucket_ceil(i);
-                // Position inside this bucket, interpolated over its span.
+                // Linear interpolation inside the winning bucket: treat its
+                // `n` samples as evenly spread over [lo, hi] and read off
+                // the mid-rank position (the k-th of n samples sits at the
+                // (2k-1)/2n point of the span). The old lower-bound form
+                // pinned rank 1 to `lo`, understating p99 by up to the full
+                // bucket width (2x relative error). u128 keeps the top
+                // bucket (span ~ 2^63) from overflowing the product.
                 let into = rank - seen; // 1..=n
-                let span = hi - lo;
-                return lo + span * (into - 1) / n.max(1);
+                let span = (hi - lo) as u128;
+                let offset = span * (2 * into as u128 - 1) / (2 * n as u128);
+                return lo + offset as u64;
             }
             seen += n;
         }
@@ -287,6 +294,73 @@ mod tests {
             let v = h.quantile(q);
             assert!(v >= lo && v <= hi, "q={q} -> {v} outside [{lo}, {hi}]");
         }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_bucket() {
+        // 512 uniform samples fill bucket 10 ([512, 1023]) exactly, so the
+        // interpolated quantile must track the true quantile closely — not
+        // collapse to the bucket floor the way lower-bound reporting did.
+        let h = Histogram::new();
+        for v in 512..=1023u64 {
+            h.record(v);
+        }
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let truth = 512.0 + 511.0 * q;
+            let got = h.quantile(q) as f64;
+            assert!(
+                (got - truth).abs() <= 2.0,
+                "q={q}: got {got}, want ~{truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_does_not_pin_to_bucket_floor() {
+        // The old lower-bound form returned exactly `lo` for every quantile
+        // of a one-sample bucket; mid-rank interpolation lands mid-bucket.
+        let h = Histogram::new();
+        h.record(1000);
+        let (lo, hi) = (bucket_floor(bucket_of(1000)), bucket_ceil(bucket_of(1000)));
+        let p99 = h.p99();
+        assert!(
+            p99 > lo && p99 < hi,
+            "p99 = {p99} should be inside ({lo}, {hi})"
+        );
+        assert_eq!(p99, lo + (hi - lo) / 2);
+    }
+
+    #[test]
+    fn top_bucket_interpolation_does_not_overflow() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= bucket_floor(64), "q={q} -> {v}");
+        }
+        assert!(h.quantile(1.0) >= h.quantile(0.0));
+    }
+
+    #[test]
+    fn interpolated_quantiles_stay_monotone_across_buckets() {
+        // Known mixed distribution spanning several buckets: quantiles must
+        // be monotone in q and bracket the recorded values.
+        let h = Histogram::new();
+        for v in [3u64, 3, 3, 40, 41, 42, 43, 5000, 5001, 900_000] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(
+            qs[0] >= 2 && qs[0] <= 3,
+            "low end in value's bucket: {}",
+            qs[0]
+        );
+        assert!(
+            *qs.last().unwrap() >= 524_288,
+            "tail reaches the top sample's bucket"
+        );
     }
 
     #[test]

@@ -21,6 +21,7 @@ use simstore::IoPriority;
 use crate::cache::PAGES_PER_WORD;
 use crate::error::IoError;
 use crate::os::{Fd, Os, PAGE_SIZE};
+use crate::trace::OsSpanKind;
 use simfs::InodeId;
 
 /// Request structure for [`Os::readahead_info`] — the `info` parameter of
@@ -202,10 +203,20 @@ impl Os {
         let p1 = ((req.offset + req.len).div_ceil(PAGE_SIZE)).min(file_pages);
 
         // Fast path: bitmap scan under the bitmap read lock.
+        let spans = self.span_sink();
         let scan_access = cache
             .bitmap_lock
             .read(clock.now(), costs.bitmap_scan_ns(p1.saturating_sub(p0)));
         clock.advance_to(scan_access.end_ns);
+        if scan_access.wait_ns > 0 {
+            if let Some(sink) = spans {
+                sink.emit_os_span(
+                    scan_access.end_ns,
+                    OsSpanKind::BitmapLockWait,
+                    scan_access.wait_ns,
+                );
+            }
+        }
         let missing = cache.state.read().missing_runs(p0, p1);
         let range_pages = p1.saturating_sub(p0);
         let missing_pages: u64 = missing.iter().map(|&(s, e)| e - s).sum();
@@ -260,12 +271,22 @@ impl Os {
                 }
             }
             ready_at = io_clock.now();
+            if ready_at > clock.now() {
+                if let Some(sink) = spans {
+                    sink.emit_os_span(ready_at, OsSpanKind::DevicePrefetch, ready_at - clock.now());
+                }
+            }
 
             // Publish once after the entire walk (write side, short hold).
             let publish_hold = costs.bitmap_lock_hold_ns
                 + costs.bitmap_scan_ns(scheduled.iter().map(|&(s, e)| e - s).sum());
             let publish = cache.bitmap_lock.write(clock.now(), publish_hold);
             clock.advance_to(publish.end_ns);
+            if publish.wait_ns > 0 {
+                if let Some(sink) = spans {
+                    sink.emit_os_span(publish.end_ns, OsSpanKind::BitmapLockWait, publish.wait_ns);
+                }
+            }
 
             // Bias the recency of readahead pages slightly into the future:
             // a page prefetched-but-not-yet-read must outrank just-consumed
@@ -468,6 +489,7 @@ impl Os {
         let mut io_clock = ThreadClock::detached_at(Arc::clone(self.global()), clock.now());
         let merge_gap = self.config().ra_max_pages;
         let ceiling = self.config().crossos_max_prefetch_pages;
+        let spans = self.span_sink();
 
         for (ino, mut members) in inodes.into_iter().zip(groups) {
             let cache = self.cache(ino);
@@ -501,6 +523,11 @@ impl Os {
                 .bitmap_lock
                 .read(clock.now(), costs.bitmap_scan_ns(scan_pages));
             clock.advance_to(scan.end_ns);
+            if scan.wait_ns > 0 {
+                if let Some(sink) = spans {
+                    sink.emit_os_span(scan.end_ns, OsSpanKind::BitmapLockWait, scan.wait_ns);
+                }
+            }
 
             let mut inserted: Vec<(u64, u64, u64)> = Vec::new();
             let mut publish_pages = 0u64;
@@ -552,6 +579,11 @@ impl Os {
                     continue;
                 }
                 let after = io_clock.now();
+                if after > before {
+                    if let Some(sink) = spans {
+                        sink.emit_os_span(after, OsSpanKind::DevicePrefetch, after - before);
+                    }
+                }
 
                 // The device streams the vector front to back: interpolate
                 // readiness across the scheduled pages so readers consume
@@ -584,6 +616,15 @@ impl Os {
                 let publish_hold = costs.bitmap_lock_hold_ns + costs.bitmap_scan_ns(publish_pages);
                 let publish = cache.bitmap_lock.write(clock.now(), publish_hold);
                 clock.advance_to(publish.end_ns);
+                if publish.wait_ns > 0 {
+                    if let Some(sink) = spans {
+                        sink.emit_os_span(
+                            publish.end_ns,
+                            OsSpanKind::BitmapLockWait,
+                            publish.wait_ns,
+                        );
+                    }
+                }
                 let touch = clock.now() + PREFETCH_TOUCH_BIAS_NS;
                 let mut initiated_total = 0;
                 {

@@ -63,7 +63,7 @@ pub use mmap::MmapOutcome;
 pub use os::{Advice, Fd, FdEntry, Os, ReadOutcome, PAGE_SIZE};
 pub use shard::{RegistryStats, ShardedMap};
 pub use stats::OsStats;
-pub use trace::{OsTraceEvent, OsTraceSink};
+pub use trace::{OsSpanKind, OsTraceEvent, OsTraceSink};
 
 // Re-exports so downstream crates name one coherent surface.
 pub use simfs::{FileSystem, FsError, FsKind, InodeId};

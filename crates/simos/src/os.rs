@@ -13,7 +13,7 @@ use crate::readahead::{RaMode, RaState};
 use crate::reclaim::{select_victims, MemoryManager};
 use crate::shard::{RegistryStats, ShardedMap};
 use crate::stats::OsStats;
-use crate::trace::{OsTraceEvent, OsTraceSink};
+use crate::trace::{OsSpanKind, OsTraceEvent, OsTraceSink};
 use crate::OsConfig;
 
 /// Compile-time fault discipline of the shared read/prefetch pipelines.
@@ -204,6 +204,20 @@ impl Os {
     /// `OnceLock` load plus one atomic flag check.
     pub(crate) fn trace_sink(&self) -> Option<&Arc<dyn OsTraceSink>> {
         self.trace.get().filter(|sink| sink.enabled())
+    }
+
+    /// The installed trace sink if one exists *and* span bridging is on —
+    /// the same ≤1-relaxed-load contract as [`Os::trace_sink`], gated
+    /// independently so decision tracing and span tracing toggle apart.
+    pub(crate) fn span_sink(&self) -> Option<&Arc<dyn OsTraceSink>> {
+        self.trace.get().filter(|sink| sink.span_enabled())
+    }
+
+    /// Total contended wall-clock wait across the OS registries (inode
+    /// caches + fd table). Cheap: per-shard relaxed counter loads, no
+    /// allocation — safe on the read path for span bookkeeping.
+    pub fn registry_wait_ns(&self) -> u64 {
+        self.caches.total_wait_ns() + self.fds.total_wait_ns()
     }
 
     /// The configuration in effect.
@@ -493,6 +507,7 @@ impl Os {
         clock.advance(costs.syscall_ns);
         self.stats.syscalls.incr();
         self.stats.reads.incr();
+        let spans = self.span_sink();
 
         let entry = self.fd_entry(fd);
         let cache = self.cache(entry.ino);
@@ -519,6 +534,11 @@ impl Os {
             remaining -= batch;
         }
         self.stats.lock_wait_hist.record(tree_wait_ns);
+        if tree_wait_ns > 0 {
+            if let Some(sink) = spans {
+                sink.emit_os_span(clock.now(), OsSpanKind::TreeLockWait, tree_wait_ns);
+            }
+        }
 
         let (missing, ready_at, present, prefetch_hit) = {
             let mut state = cache.state.write();
@@ -569,18 +589,30 @@ impl Os {
                     cache.state.write().lower_ready(p0, p1, now);
                     self.stats.demand_bypass_pages.add(present);
                     self.stats.demand_fill_ns.add(now - t0);
+                    if let Some(sink) = spans {
+                        sink.emit_os_span(now, OsSpanKind::DeviceRead, now - t0);
+                    }
                 } else {
                     // The overtake attempt hit a transient fault; the queued
                     // prefetch stream is still coming, so fall back to
                     // waiting for it rather than failing the read.
-                    self.stats
-                        .ready_wait_ns
-                        .add(ready_at.saturating_sub(clock.now()));
+                    let fallback_wait = ready_at.saturating_sub(clock.now());
+                    self.stats.ready_wait_ns.add(fallback_wait);
                     clock.advance_to(ready_at);
+                    if fallback_wait > 0 {
+                        if let Some(sink) = spans {
+                            sink.emit_os_span(ready_at, OsSpanKind::ReadyWait, fallback_wait);
+                        }
+                    }
                 }
             } else {
                 self.stats.ready_wait_ns.add(wait);
                 clock.advance_to(ready_at);
+                if wait > 0 {
+                    if let Some(sink) = spans {
+                        sink.emit_os_span(ready_at, OsSpanKind::ReadyWait, wait);
+                    }
+                }
             }
         }
 
@@ -606,11 +638,22 @@ impl Os {
                 filled.push((mstart, mend));
             }
             self.stats.demand_fill_ns.add(clock.now() - t0);
+            if let Some(sink) = spans {
+                let now = clock.now();
+                if now > t0 {
+                    sink.emit_os_span(now, OsSpanKind::DeviceRead, now - t0);
+                }
+            }
             if inserted > 0 {
                 let hold =
                     costs.tree_insert_per_page_ns * inserted + costs.page_alloc_ns * inserted;
                 let access = cache.tree_lock.write(clock.now(), hold);
                 clock.advance_to(access.end_ns);
+                if access.wait_ns > 0 {
+                    if let Some(sink) = spans {
+                        sink.emit_os_span(access.end_ns, OsSpanKind::TreeLockWait, access.wait_ns);
+                    }
+                }
                 let now = clock.now();
                 let mut newly = 0;
                 {
@@ -718,13 +761,20 @@ impl Os {
         let total: u64 = missing.iter().map(|&(s, e)| e - s).sum();
 
         // Lock charge: baseline prefetch contends on the tree lock.
+        let spans = self.span_sink();
         let hold = costs.tree_insert_per_page_ns * total + costs.page_alloc_ns * total;
         let access = cache.tree_lock.write(clock.now(), hold);
         clock.advance_to(access.end_ns);
+        if access.wait_ns > 0 {
+            if let Some(sink) = spans {
+                sink.emit_os_span(access.end_ns, OsSpanKind::TreeLockWait, access.wait_ns);
+            }
+        }
 
         // Device I/O proceeds asynchronously, completing progressively in
         // VFS-request-sized chunks.
         let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
+        let io_start_ns = io_clock.now();
         let chunk_pages = (self.device.config().max_request_bytes / PAGE_SIZE).max(1);
         let mut chunk_ready: Vec<(u64, u64, u64)> = Vec::new();
         for &(mstart, mend) in &missing {
@@ -757,6 +807,15 @@ impl Os {
             let mut state = cache.state.write();
             for &(cstart, cend, ready) in &chunk_ready {
                 newly += state.insert_range_prefetched(cstart, cend, touch, ready);
+            }
+        }
+        if io_clock.now() > io_start_ns {
+            if let Some(sink) = spans {
+                sink.emit_os_span(
+                    io_clock.now(),
+                    OsSpanKind::DevicePrefetch,
+                    io_clock.now() - io_start_ns,
+                );
             }
         }
         self.stats.prefetched_pages.add(newly);
@@ -1117,6 +1176,17 @@ impl Os {
         self.stats
             .reclaim_scan_hist
             .record(clock.now() - scan_start_ns);
+        // Flat-leaf rule: reclaim bridges one whole-pass window; the lock
+        // waits inside it are already part of the pass, not separate leaves.
+        if clock.now() > scan_start_ns {
+            if let Some(sink) = self.span_sink() {
+                sink.emit_os_span(
+                    clock.now(),
+                    OsSpanKind::ReclaimPass,
+                    clock.now() - scan_start_ns,
+                );
+            }
+        }
         if let Some(sink) = self.trace_sink() {
             sink.emit_os_event(
                 clock.now(),

@@ -197,6 +197,16 @@ impl<V: Clone> ShardedMap<V> {
         self.entries_sorted().into_iter().map(|(_, v)| v).collect()
     }
 
+    /// Total contended wall-clock wait across shards — the allocation-free
+    /// form of [`ShardedMap::stats`] (per-shard relaxed loads only), cheap
+    /// enough for per-read span bookkeeping.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.wait_ns.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Current per-shard wait/contention tallies.
     pub fn stats(&self) -> RegistryStats {
         RegistryStats {

@@ -46,6 +46,43 @@ pub enum OsTraceEvent {
     },
 }
 
+/// Kinds of OS-side leaf spans bridged to the caller's span subsystem via
+/// [`OsTraceSink::emit_os_span`]. Each names one wait or service window
+/// measured on a thread's virtual clock; the receiving layer decides how
+/// to attribute it (the CROSS-LIB critical-path analyzer buckets lock
+/// waits, device service, and reclaim separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsSpanKind {
+    /// Blocked acquiring a per-inode cache-tree lock.
+    TreeLockWait,
+    /// Blocked acquiring a per-inode bitmap lock (CROSS-OS fast path).
+    BitmapLockWait,
+    /// Waited for in-flight prefetch I/O to cover the requested range.
+    ReadyWait,
+    /// Demand-fill (or ready-bypass re-read) device service window on the
+    /// calling thread's clock.
+    DeviceRead,
+    /// Prefetch-class device service window. Always measured on a
+    /// *detached* I/O clock — off the caller's critical path.
+    DevicePrefetch,
+    /// One whole reclaim pass on the calling thread's clock.
+    ReclaimPass,
+}
+
+impl OsSpanKind {
+    /// Stable label used in folded stacks and exemplar dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            OsSpanKind::TreeLockWait => "os-tree-lock-wait",
+            OsSpanKind::BitmapLockWait => "os-bitmap-lock-wait",
+            OsSpanKind::ReadyWait => "os-ready-wait",
+            OsSpanKind::DeviceRead => "os-device-read",
+            OsSpanKind::DevicePrefetch => "os-device-prefetch",
+            OsSpanKind::ReclaimPass => "os-reclaim-pass",
+        }
+    }
+}
+
 /// Receiver for OS-layer trace events, installed via
 /// [`crate::Os::set_trace_sink`].
 pub trait OsTraceSink: Send + Sync + std::fmt::Debug {
@@ -54,4 +91,18 @@ pub trait OsTraceSink: Send + Sync + std::fmt::Debug {
 
     /// Delivers one event stamped with the emitting thread's virtual time.
     fn emit_os_event(&self, ts_ns: u64, event: OsTraceEvent);
+
+    /// Cheap pre-check for span bridging: when false, emit sites skip
+    /// [`OsTraceSink::emit_os_span`] entirely. Defaults to off so
+    /// event-only sinks pay nothing for the span surface.
+    fn span_enabled(&self) -> bool {
+        false
+    }
+
+    /// Delivers one OS-side leaf span: a wait or service window of
+    /// `dur_ns` virtual nanoseconds ending at `end_ns` on the emitting
+    /// thread's clock. Default: ignored.
+    fn emit_os_span(&self, end_ns: u64, kind: OsSpanKind, dur_ns: u64) {
+        let _ = (end_ns, kind, dur_ns);
+    }
 }

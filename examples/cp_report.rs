@@ -10,7 +10,8 @@
 use std::collections::BTreeMap;
 
 use crossprefetch::{
-    EngineKind, Mode, Runtime, RuntimeConfig, RuntimeReport, TraceEvent, TraceEventKind,
+    EngineKind, FlushReason, Mode, Runtime, RuntimeConfig, RuntimeReport, TraceEvent,
+    TraceEventKind,
 };
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
 
@@ -87,11 +88,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Decision trace: the tail of the event log, then a timeline
     //    summary of what each layer decided per virtual-time slice.
     let events = runtime.trace().snapshot();
+    let dropped = runtime.trace().dropped();
     println!(
         "--- decision trace ({} events, {} dropped) — last 20 ---",
         events.len(),
-        runtime.trace().dropped()
+        dropped
     );
+    if dropped > 0 {
+        // The ring is bounded and drops oldest-first: make the
+        // truncation visible where the reader would otherwise assume
+        // the log starts at the beginning of the run.
+        println!("[... {dropped} earlier events dropped by the bounded trace ring ...]");
+    }
     for event in events.iter().rev().take(20).rev() {
         println!("{event}");
     }
@@ -99,18 +107,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- decision timeline (events per kind per ms slice) ---");
     print_timeline(&events);
 
-    // 4. Per-file engine ownership: every duel the adaptive selector
-    //    resolved with a change of winner, in virtual-time order.
+    // 4. Per-file engine ownership interleaved with batch flushes: every
+    //    duel the adaptive selector resolved with a change of winner,
+    //    plus each submission-batch flush with why it left its slot
+    //    ("size" = capacity, "deadline" = aged out, "drain" = explicit),
+    //    in virtual-time order.
     println!("\n--- engine ownership timeline ---");
-    let mut transfers = 0;
+    let mut shown = 0;
     for event in &events {
-        if let TraceEventKind::EngineOwner { ino, engine } = event.kind {
-            println!("{:>12} ns  ino={:<4} -> {engine}", event.ts_ns, ino.0);
-            transfers += 1;
+        match event.kind {
+            TraceEventKind::EngineOwner { ino, engine } => {
+                println!("{:>12} ns  ino={:<4} -> {engine}", event.ts_ns, ino.0);
+                shown += 1;
+            }
+            TraceEventKind::BatchFlushed {
+                runs,
+                pages,
+                reason,
+            } => {
+                let why = match reason {
+                    FlushReason::Full => "size",
+                    FlushReason::Deadline => "deadline",
+                    FlushReason::Explicit => "drain",
+                };
+                println!(
+                    "{:>12} ns  batch-flush [{why}] {runs} runs, {pages} pages",
+                    event.ts_ns
+                );
+                shown += 1;
+            }
+            _ => {}
         }
     }
-    if transfers == 0 {
-        println!("(no ownership transfers)");
+    if shown == 0 {
+        println!("(no ownership transfers or batch flushes)");
     }
     Ok(())
 }

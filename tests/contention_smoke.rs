@@ -10,6 +10,12 @@
 //! * at eight threads, the worst per-shard wait of a sharded registry
 //!   must stay strictly below the single-lock baseline's wait.
 //!
+//! Span tracing runs throughout: registry waits are wall-clock and live
+//! outside an exemplar's virtual-time bucket sum, but each exemplar
+//! snapshots the wait delta over its in-flight window, so a contended
+//! run must crown a most-contended exemplar (and a single-threaded run
+//! must not).
+//!
 //! Wall-clock measurements are noisy; the test scales the workload up
 //! until the single-lock baseline shows unambiguous contention before
 //! asserting. Telemetry sidecars (`BENCH_contention_*.json`) go wherever
@@ -43,6 +49,10 @@ fn churn(threads: usize, shards: usize, iters: usize, tag: &str) -> (Runtime, Ar
     let mut config = RuntimeConfig::new(Mode::Predict);
     config.registry_shards = shards;
     let rt = Runtime::new(Arc::clone(&os), config);
+    // Span tracing rides along: each exemplar snapshots the wall-clock
+    // registry-wait delta over its in-flight window, so the contention
+    // this test provokes must show up attributed to individual reads.
+    rt.spans().set_enabled(true);
     thread::scope(|s| {
         for t in 0..threads {
             let rt = rt.clone();
@@ -96,6 +106,19 @@ fn contention_smoke_1_and_8_threads() {
         0,
         "single-threaded run recorded registry lock wait"
     );
+    // The same invariant through the span lens: no exemplar's in-flight
+    // window may carry registry wait, and no read may be crowned most
+    // contended.
+    for exemplar in rt1.spans().exemplars() {
+        assert_eq!(
+            exemplar.registry_wait_ns, 0,
+            "single-threaded exemplar carries registry wait"
+        );
+    }
+    assert!(
+        rt1.spans().most_contended().is_none(),
+        "single-threaded run produced a most-contended exemplar"
+    );
     telemetry_sidecar("contention_t1", &rt1);
     write_sidecar(tmp, "contention_t1", &rt1);
 
@@ -110,7 +133,14 @@ fn contention_smoke_1_and_8_threads() {
         let (rt_shard, os_shard) = churn(8, 16, iters, "shard");
         let shard_max = max_shard_wait_ns(&rt_shard, &os_shard);
         last = (base_total, shard_max);
-        if base_total >= 50_000 && shard_max < base_total {
+        // Contended runs must also surface the blocking through the span
+        // subsystem: some read's in-flight window overlapped the waits.
+        let attributed = rt_base.spans().most_contended();
+        if let (true, Some(hot)) = (base_total >= 50_000 && shard_max < base_total, attributed) {
+            assert!(
+                hot.registry_wait_ns > 0,
+                "most-contended exemplar must carry nonzero registry wait"
+            );
             telemetry_sidecar("contention_t8_single_lock", &rt_base);
             telemetry_sidecar("contention_t8_sharded", &rt_shard);
             write_sidecar(tmp, "contention_t8_single_lock", &rt_base);
@@ -125,7 +155,8 @@ fn contention_smoke_1_and_8_threads() {
         iters *= 2;
     }
     panic!(
-        "sharded registries never separated from the single-lock baseline: \
+        "sharded registries never separated from the single-lock baseline \
+         (or spans never attributed the wait to a read): \
          baseline wait {} ns, worst sharded shard {} ns",
         last.0, last.1
     );
