@@ -185,12 +185,29 @@ pub struct RuntimeConfig {
     /// and telemetry is byte-identical to the unbatched runtime.
     pub batch_submit: bool,
     /// Entries per submission batch before a size flush
-    /// ([`crate::worker::FlushReason::Full`]).
+    /// ([`crate::ring::FlushReason::Full`]).
     pub batch_max_runs: usize,
     /// Virtual-time deadline after which an open batch flushes even when
-    /// not full ([`crate::worker::FlushReason::Deadline`]) — bounds the
+    /// not full ([`crate::ring::FlushReason::Deadline`]) — bounds the
     /// staging latency a run can add to a prefetch.
     pub batch_deadline_ns: u64,
+    /// Completion-driven I/O ring: demand reads join prefetch on the
+    /// shared submission ring. Fully-cached reads are absorbed through the
+    /// exported bitmap without a syscall crossing; demand misses cross via
+    /// one vectored `read_batch` call that piggybacks any staged prefetch
+    /// runs; and high-confidence predictions pre-issue the next demand
+    /// read speculatively. Requires cache visibility (the absorb path
+    /// reads the shared bitmap); ignored on modes without it. Default
+    /// off: the ring changes syscall counts, crossing costs, and
+    /// therefore the virtual timeline — with it off, every new code path
+    /// is bypassed and telemetry is byte-identical to the ring-less
+    /// runtime.
+    pub ring_submit: bool,
+    /// Minimum predictor confidence (0.0–1.0) before the ring pre-issues
+    /// the next predicted demand read speculatively. Mispredicted
+    /// speculative reads are cancelled and charged as wasted prefetch, so
+    /// the bar is high by default.
+    pub ring_spec_confidence: f64,
     /// Exemplar reservoir depth per latency class for causal span tracing
     /// ([`crate::span::SpanCollector`]): the slowest K reads of each class
     /// keep their complete span tree. Sizing only — span *collection*
@@ -233,6 +250,8 @@ impl RuntimeConfig {
             batch_submit: false,
             batch_max_runs: 8,
             batch_deadline_ns: 50 * simclock::NS_PER_US,
+            ring_submit: false,
+            ring_spec_confidence: 0.9,
             span_exemplars: 8,
         }
     }

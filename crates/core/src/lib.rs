@@ -56,6 +56,7 @@ pub mod policy;
 pub mod predictor;
 pub mod range_tree;
 mod read_path;
+pub mod ring;
 mod runtime;
 pub mod span;
 mod stats;
@@ -72,6 +73,7 @@ pub use predict::{
 };
 pub use predictor::{AccessPattern, Direction, Prediction, Predictor, SEQ_BATCH_PAGES};
 pub use range_tree::{LockScope, RangeTree};
+pub use ring::{FlushReason, SpecRead, SubmissionQueue};
 pub use runtime::{CpFile, LibFile, Runtime};
 pub use span::{
     CriticalPath, ReqId, SpanClassTotals, SpanCollector, SpanExemplar, SpanKind, SpanLeaf,
@@ -80,7 +82,6 @@ pub use span::{
 pub use stats::LibStats;
 pub use telemetry::{RuntimeReport, TELEMETRY_SCHEMA_VERSION};
 pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
-pub use worker::FlushReason;
 
 // One coherent import surface for workloads and benches.
 pub use simos::{

@@ -63,6 +63,13 @@ pub struct Policy {
     /// vectored call is a `readahead_info` extension — so the flag is the
     /// config knob ANDed with the visibility feature.
     pub batch_submit: bool,
+    /// Completion-driven ring: absorb fully-cached demand reads through
+    /// the exported bitmap, cross demand misses via the vectored
+    /// `read_batch` crossing (piggybacking staged prefetch runs), and
+    /// pre-issue high-confidence predicted reads. The absorb path reads
+    /// the shared cache-state bitmap, so the flag is the config knob
+    /// ANDed with the visibility feature.
+    pub ring: bool,
     /// The prediction engine new descriptors are built with. Only
     /// predicting modes consult an engine at all, so non-predict modes
     /// resolve to the (stateless-by-disuse) strided default regardless of
@@ -104,6 +111,7 @@ impl Policy {
             scope,
             post_read,
             batch_submit: features.visibility && config.batch_submit,
+            ring: features.visibility && config.ring_submit,
             engine: if features.predict {
                 config.engine
             } else {
@@ -200,6 +208,23 @@ mod tests {
         let mut blind = RuntimeConfig::new(Mode::OsOnly);
         blind.batch_submit = true;
         assert!(!Policy::for_config(&blind).batch_submit);
+    }
+
+    #[test]
+    fn ring_requires_visibility() {
+        // Off by default everywhere.
+        for mode in Mode::table2() {
+            assert!(!Policy::for_config(&RuntimeConfig::new(mode)).ring);
+        }
+        // On + visibility: enabled.
+        let mut config = RuntimeConfig::new(Mode::PredictOpt);
+        config.ring_submit = true;
+        assert!(Policy::for_config(&config).ring);
+        // On without visibility (absorb needs the exported bitmap):
+        // stays off.
+        let mut blind = RuntimeConfig::new(Mode::OsOnly);
+        blind.ring_submit = true;
+        assert!(!Policy::for_config(&blind).ring);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub(crate) trait FillMode {
         offset: u64,
         len: u64,
     ) -> Result<ReadOutcome, Self::Error>;
+
+    /// Charges the demand read through the ring's vectored crossing,
+    /// piggybacking any staged prefetch runs on the same syscall.
+    fn ring_fill(
+        file: &CpFile,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, Self::Error>;
 }
 
 /// Fill through the non-faulting OS surface; cannot fail.
@@ -83,6 +92,15 @@ impl FillMode for NeverFails {
             .os
             .read_charge(clock, file.fd, offset, len))
     }
+
+    fn ring_fill(
+        file: &CpFile,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, Self::Error> {
+        Ok(file.ring_fill(clock, offset, len))
+    }
 }
 
 /// Fill through the fallible OS surface; injected faults surface.
@@ -101,6 +119,15 @@ impl FillMode for MayFail {
             .inner
             .os
             .try_read_charge(clock, file.fd, offset, len)
+    }
+
+    fn ring_fill(
+        file: &CpFile,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, Self::Error> {
+        file.try_ring_fill(clock, offset, len)
     }
 }
 
@@ -137,6 +164,11 @@ pub(crate) struct ReadCtx {
     /// prefetch-plan stage): the strided prediction, any mined
     /// correlation runs, and mining/duel bookkeeping.
     decision: PrefetchDecision,
+    /// Page range `[start, end)` of the predicted *next* demand read,
+    /// set by the prefetch-plan stage when the ring is on and the
+    /// engine's confidence clears the speculation bar; consumed by the
+    /// account stage, which pre-issues it through the ring.
+    spec_target: Option<(u64, u64)>,
     /// Virtual time the current stage started (stage-latency base).
     stage_start_ns: u64,
 }
@@ -266,6 +298,7 @@ impl CpFile {
             spans,
             claimed: 0,
             decision: PrefetchDecision::default(),
+            spec_target: None,
             stage_start_ns: entry_ns,
         };
         ctx.close_stage(self, PipelineStage::Classify, clock.now());
@@ -315,6 +348,33 @@ impl CpFile {
     /// at syscall entry, so the prefetch stream overlaps the demand fill
     /// instead of trailing it.
     fn stage_prefetch_plan(&self, clock: &mut ThreadClock, ctx: &mut ReadCtx) {
+        let inner = &self.runtime.inner;
+        // Speculative pre-issue target (ring only): when the engine's
+        // confidence clears the bar, the predicted *next* demand read —
+        // same size as this one, adjacent in the stream's direction. The
+        // account stage issues it after this access settles; the issue
+        // path re-checks that normal prefetch has not covered it.
+        if inner.policy.ring
+            && ctx.pages > 0
+            && ctx.decision.confidence >= inner.config.ring_spec_confidence
+        {
+            if let Some(pred) = &ctx.decision.prediction {
+                if pred.prefetch_pages > 0 {
+                    use crate::predictor::Direction;
+                    let file_pages = inner.os.fs().size(self.file.ino).div_ceil(PAGE_SIZE);
+                    ctx.spec_target = match pred.direction {
+                        Direction::Forward => {
+                            let end = (ctx.p1 + ctx.pages).min(file_pages);
+                            (ctx.p1 < end).then_some((ctx.p1, end))
+                        }
+                        Direction::Backward => {
+                            let start = ctx.p0.saturating_sub(ctx.pages);
+                            (start < ctx.p0).then_some((start, ctx.p0))
+                        }
+                    };
+                }
+            }
+        }
         let decision = std::mem::take(&mut ctx.decision);
         if let Some(pred) = decision.prediction {
             self.paced_prefetch(clock, pred, ctx.p0, ctx.p1);
@@ -381,7 +441,30 @@ impl CpFile {
                 ..ReadOutcome::default()
             }
         } else {
-            match F::fill(self, clock, ctx.offset, ctx.len) {
+            let ring = inner.policy.ring && !inner.degraded.load(Ordering::Relaxed);
+            let mut absorbed = None;
+            if ring {
+                // Speculative pre-issue first: an exact match absorbs
+                // with no crossing; a mismatch cancels (charged wasted).
+                absorbed = self.consume_spec(clock, ctx.offset, ctx.len, ctx.tracing);
+                // Fully-claimed ranges absorb through the shared bitmap —
+                // the ring's zero-crossing completion for cache hits. The
+                // OS declines (and we fall through to the crossing) when
+                // its authoritative view disagrees with the claim or a
+                // demand fetch would beat waiting on in-flight prefetch.
+                if absorbed.is_none() && ctx.pages > 0 && ctx.claimed == ctx.pages {
+                    absorbed = inner.os.absorb_read(clock, self.fd, ctx.offset, ctx.len);
+                }
+            }
+            let filled = match absorbed {
+                Some(outcome) => Ok(outcome),
+                // Everything else crosses — as a vectored ring submission
+                // that piggybacks staged prefetch runs when the ring is
+                // on, or the plain read syscall when it is off.
+                None if ring => F::ring_fill(self, clock, ctx.offset, ctx.len),
+                None => F::fill(self, clock, ctx.offset, ctx.len),
+            };
+            match filled {
                 Ok(outcome) => outcome,
                 Err(err) => {
                     if inner.policy.intercept {
@@ -462,6 +545,14 @@ impl CpFile {
         self.file
             .last_access_ns
             .store(clock.now(), Ordering::Relaxed);
+
+        // Ring speculation: pre-issue the predicted next demand read now
+        // that this access's accounting is settled.
+        if let Some((start, end)) = ctx.spec_target.take() {
+            if !inner.degraded.load(Ordering::Relaxed) {
+                self.maybe_issue_spec(clock, start, end);
+            }
+        }
 
         for hook in &inner.policy.post_read {
             match hook {

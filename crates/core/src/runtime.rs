@@ -9,24 +9,25 @@ use predict::{AccessObservation, Engine, PredictionEngine, PrefetchDecision, Qua
 use simclock::ThreadClock;
 use simos::shard::{RegistryStats, ShardedMap};
 use simos::{
-    Advice, Fd, FsError, InodeId, IoError, MmapOutcome, Os, PrefetchQuality, RaBatchEntry,
-    RaInfoRequest, ReadOutcome, PAGE_SIZE,
+    Advice, Fd, FsError, InodeId, IoError, MmapOutcome, Os, PrefetchQuality, RaBatchCompletion,
+    RaBatchEntry, RaInfoRequest, ReadBatchEntry, ReadOutcome, PAGE_SIZE,
 };
 
 use crate::config::{Features, Mode, RuntimeConfig};
 use crate::metrics::RuntimeMetrics;
 use crate::policy::{OpenAction, Policy};
 use crate::range_tree::{LockScope, RangeTree};
+use crate::ring::{Flush, FlushReason, SpecRead, SubmissionQueue};
 use crate::span::{CrossLayerSink, SpanCollector, SpanKind};
 use crate::stats::LibStats;
 use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
-use crate::worker::{FlushReason, SubmissionQueue, WorkerPool};
+use crate::worker::WorkerPool;
 
-/// One staged prefetch run awaiting batched submission: a limit-sized
-/// sub-range of a planned prefetch, carrying everything the worker needs
-/// to build its [`RaBatchEntry`] at flush time.
+/// One staged prefetch run awaiting submission through the ring: a
+/// limit-sized sub-range of a planned prefetch, carrying everything the
+/// worker needs to build its [`RaBatchEntry`] at flush time.
 #[derive(Debug)]
-struct BatchedRun {
+pub(crate) struct BatchedRun {
     file: Arc<LibFile>,
     start: u64,
     end: u64,
@@ -98,6 +99,11 @@ pub struct CpFile {
     pub(crate) back_frontier: AtomicU64,
     /// Current prefetch window for this descriptor, in pages.
     pub(crate) window_pages: AtomicU64,
+    /// Outstanding speculative pre-issue for this descriptor (Foreactor
+    /// style): the predicted next demand read, issued through the ring
+    /// before the application asked. Consumed (absorbed or cancelled) by
+    /// the next demand fill; at most one in flight per descriptor.
+    pub(crate) spec: Mutex<Option<SpecRead>>,
     /// Whether mapped access restored fault-around already.
     mmap_touched: std::sync::atomic::AtomicBool,
     /// Last pattern index the tracer saw for this descriptor
@@ -122,9 +128,10 @@ pub(crate) struct RuntimeInner {
     /// files' opens never serialize on one registry lock.
     files: ShardedMap<Arc<LibFile>>,
     pub(crate) workers: WorkerPool,
-    /// Staged prefetch runs awaiting batched submission (one slot per
-    /// worker). Only consulted when [`Policy::batch_submit`] is on; with
-    /// batching off no entry is ever pushed and the queue is inert.
+    /// Staged prefetch runs awaiting submission through the ring (one
+    /// slot per worker). Only consulted when [`Policy::batch_submit`] is
+    /// on; with batching off no entry is ever pushed and the queue is
+    /// inert.
     batch_queue: SubmissionQueue<BatchedRun>,
     pub(crate) stats: LibStats,
     /// Last time (virtual ns) the memory watcher scanned candidates —
@@ -150,7 +157,7 @@ pub(crate) struct RuntimeInner {
     /// visibility prefetch is issued as blind `readahead(2)` instead —
     /// CROSS-LIB on a stock kernel keeps working, it just loses the
     /// cache-visibility syscall savings.
-    degraded: AtomicBool,
+    pub(crate) degraded: AtomicBool,
 }
 
 impl Runtime {
@@ -365,6 +372,7 @@ impl Runtime {
             fwd_frontier: AtomicU64::new(0),
             back_frontier: AtomicU64::new(u64::MAX),
             window_pages: AtomicU64::new(0),
+            spec: Mutex::new(None),
             mmap_touched: std::sync::atomic::AtomicBool::new(false),
             last_pattern: std::sync::atomic::AtomicU8::new(u8::MAX),
         }
@@ -583,29 +591,33 @@ impl Runtime {
                     end: upto,
                     relax,
                 };
-                if let Some((batch, reason)) = inner.batch_queue.push(slot, now, run) {
-                    self.flush_batch(clock, slot, batch, reason);
+                if let Some(flush) = inner.batch_queue.push(slot, now, run) {
+                    self.flush_batch(clock, slot, flush);
                 }
                 cursor = upto;
             }
         }
     }
 
-    /// Flushes batches whose virtual-time deadline has passed. Called from
-    /// the read path's prefetch-plan stage; the common case is one relaxed
-    /// load of the deadline hint and an immediate return.
+    /// Fires the reactor timer: flushes batches whose virtual-time
+    /// deadline has passed, each *at its own due time*. Called from the
+    /// read path's prefetch-plan stage and the explicit drain points; the
+    /// common case is one relaxed load of the deadline hint and an
+    /// immediate return.
     pub(crate) fn flush_due_batches(&self, clock: &mut ThreadClock) {
         let inner = &self.inner;
         if !inner.policy.batch_submit || clock.now() < inner.batch_queue.next_deadline_ns() {
             return;
         }
-        for (slot, batch) in inner.batch_queue.drain_due(clock.now()) {
-            self.flush_batch(clock, slot, batch, FlushReason::Deadline);
+        for (slot, flush) in inner.batch_queue.drain_due(clock.now()) {
+            self.flush_batch(clock, slot, flush);
         }
     }
 
-    /// Drains every staged prefetch batch regardless of age (the
-    /// [`FlushReason::Explicit`] path). Benches and workloads call this at
+    /// Drains every staged prefetch batch. Expired batches fire first
+    /// through the reactor timer — dispatched at their own deadline, not
+    /// the caller's `now` — and only still-young batches drain as
+    /// [`FlushReason::Explicit`]. Benches and workloads call this at
     /// measurement boundaries so no planned prefetch is left staged; a
     /// no-op when batching is off.
     pub fn flush_prefetch_batches(&self, clock: &mut ThreadClock) {
@@ -613,27 +625,37 @@ impl Runtime {
         if !inner.policy.batch_submit {
             return;
         }
-        for (slot, batch) in inner.batch_queue.drain_all() {
-            self.flush_batch(clock, slot, batch, FlushReason::Explicit);
+        self.flush_due_batches(clock);
+        for (slot, flush) in inner.batch_queue.drain_all() {
+            self.flush_batch(clock, slot, flush);
         }
     }
 
-    /// Hands one staged batch to its worker as a single vectored crossing.
-    fn flush_batch(
-        &self,
-        clock: &mut ThreadClock,
-        slot: usize,
-        batch: Vec<BatchedRun>,
-        reason: FlushReason,
-    ) {
+    /// Hands one flushed batch to its worker as a single vectored
+    /// crossing. A deadline flush dispatches at the batch's *own* due
+    /// time (`opened_ns + deadline_ns`) in virtual time — the reactor
+    /// timer firing — not at whatever later moment a read happened to
+    /// pump the queue; the worker's FCFS server handles a past enqueue
+    /// time naturally (the job starts at `max(due, clear_time)`).
+    /// Billing (flush-reason counters, the occupancy histogram) is
+    /// always against the flushed batch's own entries.
+    fn flush_batch(&self, clock: &mut ThreadClock, slot: usize, flush: Flush<BatchedRun>) {
         let inner = &self.inner;
-        if batch.is_empty() {
+        if flush.entries.is_empty() {
             return;
         }
+        let at_ns = match flush.reason {
+            FlushReason::Deadline => {
+                inner.stats.ring_timer_fires.incr();
+                flush.due_ns(inner.batch_queue.deadline_ns())
+            }
+            FlushReason::Full | FlushReason::Explicit => clock.now(),
+        };
+        let batch = flush.entries;
         let runs = batch.len() as u64;
         let pages: u64 = batch.iter().map(|r| r.end - r.start).sum();
         inner.stats.batches_flushed.incr();
-        match reason {
+        match flush.reason {
             FlushReason::Full => inner.stats.batch_flush_full.incr(),
             FlushReason::Deadline => inner.stats.batch_flush_deadline.incr(),
             FlushReason::Explicit => inner.stats.batch_flush_explicit.incr(),
@@ -642,18 +664,18 @@ impl Runtime {
         inner.stats.batch_crossings_saved.add(runs - 1);
         inner.metrics.batch_occupancy.record(runs);
         inner.trace.emit(
-            clock.now(),
+            at_ns,
             TraceEventKind::BatchFlushed {
                 runs,
                 pages,
-                reason,
+                reason: flush.reason,
             },
         );
         let runtime = self.clone();
         let est_ns = inner.os.config().costs.syscall_ns;
         let dispatch = inner
             .workers
-            .dispatch_on(slot, clock.now(), est_ns, move |wclock| {
+            .dispatch_on(slot, at_ns, est_ns, move |wclock| {
                 runtime.issue_prefetch_batch(wclock, batch);
             });
         inner
@@ -673,60 +695,10 @@ impl Runtime {
     /// which then goes blind.
     fn issue_prefetch_batch(&self, clock: &mut ThreadClock, batch: Vec<BatchedRun>) {
         let inner = &self.inner;
-        let costs = &inner.os.config().costs;
-        let os_cap = inner.os.config().ra_max_pages;
         let max_pages = inner.config.max_prefetch_pages;
-        let entries: Vec<RaBatchEntry> = batch
-            .iter()
-            .map(|run| {
-                RaBatchEntry::new(
-                    run.file.prefetch_fd,
-                    run.start * PAGE_SIZE,
-                    (run.end - run.start) * PAGE_SIZE,
-                )
-                .with_limit_pages(if run.relax {
-                    run.end - run.start
-                } else {
-                    os_cap
-                })
-            })
-            .collect();
+        let entries = self.batch_entries(&batch);
         match inner.os.try_readahead_batch(clock, &entries) {
-            Ok(completions) => {
-                for (run, done) in batch.iter().zip(&completions) {
-                    if done.merged {
-                        inner.stats.batch_runs_merged.incr();
-                    }
-                    if done.error.is_some() {
-                        inner.stats.prefetch_retries.incr();
-                        inner.trace.emit(
-                            clock.now(),
-                            TraceEventKind::PrefetchRetry {
-                                ino: run.file.ino,
-                                start_page: run.start,
-                                pages: run.end - run.start,
-                                attempt: 1,
-                            },
-                        );
-                        let backoff = inner.config.prefetch_retry_backoff_ns.max(1);
-                        clock.advance(backoff);
-                        crate::span::record_leaf(SpanKind::RetryBackoff, backoff, clock.now());
-                        self.issue_prefetch(
-                            clock,
-                            &run.file,
-                            &[(run.start, run.end)],
-                            run.relax,
-                            true,
-                            max_pages,
-                        );
-                        continue;
-                    }
-                    inner.stats.pages_initiated.add(done.initiated_pages);
-                    run.file
-                        .tree
-                        .mark_cached(clock, costs, self.scope(), run.start, run.end);
-                }
-            }
+            Ok(completions) => self.apply_batch_completions(clock, &batch, &completions),
             Err(_) => {
                 if !inner.degraded.swap(true, Ordering::Relaxed) {
                     if let Some(run) = batch.first() {
@@ -747,6 +719,141 @@ impl Runtime {
                     );
                 }
             }
+        }
+    }
+
+    /// Builds the vectored OS entries for a set of staged runs — shared
+    /// by the batch-flush worker and the demand-path ring crossing so
+    /// both submit byte-identical requests.
+    fn batch_entries(&self, batch: &[BatchedRun]) -> Vec<RaBatchEntry> {
+        let os_cap = self.inner.os.config().ra_max_pages;
+        batch
+            .iter()
+            .map(|run| {
+                RaBatchEntry::new(
+                    run.file.prefetch_fd,
+                    run.start * PAGE_SIZE,
+                    (run.end - run.start) * PAGE_SIZE,
+                )
+                .with_limit_pages(if run.relax {
+                    run.end - run.start
+                } else {
+                    os_cap
+                })
+            })
+            .collect()
+    }
+
+    /// Per-entry completion handling for a vectored submission: merged
+    /// accounting, user-view import, and the transient-failure retry
+    /// ladder (the vectored submission counts as each entry's first
+    /// attempt).
+    fn apply_batch_completions(
+        &self,
+        clock: &mut ThreadClock,
+        batch: &[BatchedRun],
+        completions: &[RaBatchCompletion],
+    ) {
+        let inner = &self.inner;
+        let costs = &inner.os.config().costs;
+        let max_pages = inner.config.max_prefetch_pages;
+        for (run, done) in batch.iter().zip(completions) {
+            if done.merged {
+                inner.stats.batch_runs_merged.incr();
+            }
+            if done.error.is_some() {
+                inner.stats.prefetch_retries.incr();
+                inner.trace.emit(
+                    clock.now(),
+                    TraceEventKind::PrefetchRetry {
+                        ino: run.file.ino,
+                        start_page: run.start,
+                        pages: run.end - run.start,
+                        attempt: 1,
+                    },
+                );
+                let backoff = inner.config.prefetch_retry_backoff_ns.max(1);
+                clock.advance(backoff);
+                crate::span::record_leaf(SpanKind::RetryBackoff, backoff, clock.now());
+                self.issue_prefetch(
+                    clock,
+                    &run.file,
+                    &[(run.start, run.end)],
+                    run.relax,
+                    true,
+                    max_pages,
+                );
+                continue;
+            }
+            inner.stats.pages_initiated.add(done.initiated_pages);
+            run.file
+                .tree
+                .mark_cached(clock, costs, self.scope(), run.start, run.end);
+        }
+    }
+
+    /// Reactor half of a demand ring crossing that piggybacked staged
+    /// prefetch runs: completion handling (merged accounting, user-view
+    /// import, the retry ladder) runs on the worker pool, off the demand
+    /// path.
+    fn finish_ring_crossing(
+        &self,
+        clock: &mut ThreadClock,
+        staged: Vec<BatchedRun>,
+        completions: Vec<RaBatchCompletion>,
+    ) {
+        if staged.is_empty() {
+            return;
+        }
+        let inner = &self.inner;
+        inner
+            .stats
+            .ring_staged_runs_piggybacked
+            .add(staged.len() as u64);
+        let runtime = self.clone();
+        let dispatch = inner.workers.dispatch(clock.now(), 0, move |wclock| {
+            runtime.apply_batch_completions(wclock, &staged, &completions);
+        });
+        inner
+            .metrics
+            .worker_queue_ns
+            .record(dispatch.queue_wait_ns());
+        // Measured on the detached worker timeline: attach as an async
+        // child, never on the demand read's critical path.
+        crate::span::suspended(|| {
+            crate::span::record_leaf(
+                SpanKind::RingComplete,
+                dispatch.latency_ns(),
+                dispatch.end_ns,
+            );
+        });
+    }
+
+    /// Degradation exit for a rejected ring crossing (`Unsupported`
+    /// kernel): latch the one-way downgrade and re-issue the staged runs
+    /// through the unbatched — now blind — worker path so no planned
+    /// prefetch is lost.
+    fn ring_degrade(&self, clock: &mut ThreadClock, staged: Vec<BatchedRun>, ino: InodeId) {
+        let inner = &self.inner;
+        if !inner.degraded.swap(true, Ordering::Relaxed) {
+            inner
+                .trace
+                .emit(clock.now(), TraceEventKind::VisibilityDowngraded { ino });
+        }
+        let max_pages = inner.config.max_prefetch_pages;
+        let est_ns = inner.os.config().costs.syscall_ns;
+        for run in staged {
+            let runtime = self.clone();
+            inner.workers.dispatch(clock.now(), est_ns, move |wclock| {
+                runtime.issue_prefetch(
+                    wclock,
+                    &run.file,
+                    &[(run.start, run.end)],
+                    run.relax,
+                    true,
+                    max_pages,
+                );
+            });
         }
     }
 
@@ -1153,6 +1260,249 @@ impl CpFile {
             self.maybe_feed_quality();
         }
         outcome
+    }
+
+    // ----- completion-driven ring --------------------------------------------
+
+    /// Drains every staged submission batch for piggybacking on a demand
+    /// ring crossing, building their vectored entries. Empty (and free)
+    /// when batching is off or nothing is staged.
+    fn ring_stage(&self) -> (Vec<BatchedRun>, Vec<RaBatchEntry>) {
+        let inner = &self.runtime.inner;
+        if !inner.policy.batch_submit {
+            return (Vec::new(), Vec::new());
+        }
+        let mut staged = Vec::new();
+        for (_, flush) in inner.batch_queue.drain_all() {
+            staged.extend(flush.entries);
+        }
+        let entries = self.runtime.batch_entries(&staged);
+        (staged, entries)
+    }
+
+    /// Infallible demand ring crossing: the miss and any staged prefetch
+    /// runs cross as one vectored `read_batch` call. An `Unsupported`
+    /// kernel latches degradation, re-issues the staged runs through the
+    /// blind path, and falls back to the plain read.
+    pub(crate) fn ring_fill(&self, clock: &mut ThreadClock, offset: u64, len: u64) -> ReadOutcome {
+        let (staged, entries) = self.ring_stage();
+        let demand = [ReadBatchEntry::new(self.fd, offset, len)];
+        match self.runtime.inner.os.read_batch(clock, &demand, &entries) {
+            Ok((mut outcomes, completions)) => {
+                self.runtime
+                    .finish_ring_crossing(clock, staged, completions);
+                outcomes.pop().unwrap_or_default()
+            }
+            Err(_) => {
+                self.runtime.ring_degrade(clock, staged, self.file.ino);
+                self.runtime
+                    .inner
+                    .os
+                    .read_charge(clock, self.fd, offset, len)
+            }
+        }
+    }
+
+    /// Fallible demand ring crossing (see [`CpFile::ring_fill`]); a
+    /// transient device fault in the demand portion surfaces to the
+    /// caller while the piggybacked prefetch completions still process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the device fault plan injects an EIO
+    /// into the demand-class portion of the crossing.
+    pub(crate) fn try_ring_fill(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadOutcome, IoError> {
+        let (staged, entries) = self.ring_stage();
+        let demand = [ReadBatchEntry::new(self.fd, offset, len)];
+        match self
+            .runtime
+            .inner
+            .os
+            .try_read_batch(clock, &demand, &entries)
+        {
+            Ok((mut outcomes, completions)) => {
+                self.runtime
+                    .finish_ring_crossing(clock, staged, completions);
+                outcomes.pop().unwrap_or(Ok(ReadOutcome::default()))
+            }
+            Err(_) => {
+                self.runtime.ring_degrade(clock, staged, self.file.ino);
+                self.runtime
+                    .inner
+                    .os
+                    .try_read_charge(clock, self.fd, offset, len)
+            }
+        }
+    }
+
+    /// Consumes a pending speculative pre-issue for this demand access.
+    ///
+    /// An exact `(offset, len)` match *absorbs*: the read completes from
+    /// the speculative completion — waiting out any still-in-flight
+    /// device time, then paying only the user-copy cost — with no
+    /// syscall crossing. A mismatch *cancels*: the speculatively filled
+    /// pages are flagged in the OS quality ledger and charged as
+    /// initiated prefetch, so they surface as `wasted` if never used
+    /// (keeping `timely + late + wasted == pages_initiated`).
+    pub(crate) fn consume_spec(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+        tracing: bool,
+    ) -> Option<ReadOutcome> {
+        let spec = self.spec.lock().take()?;
+        let inner = &self.runtime.inner;
+        if spec.offset == offset && spec.len == len {
+            inner.stats.ring_spec_absorbed.incr();
+            let wait = spec.ready_ns.saturating_sub(clock.now());
+            if wait > 0 {
+                clock.advance_to(spec.ready_ns);
+                crate::span::record_leaf(SpanKind::RingComplete, wait, clock.now());
+            }
+            clock.advance(inner.os.config().costs.copy_pages_ns(spec.outcome.pages));
+            if tracing {
+                inner.trace.emit(
+                    clock.now(),
+                    TraceEventKind::RingAbsorbed {
+                        ino: self.file.ino,
+                        start_page: spec.offset / PAGE_SIZE,
+                        pages: spec.outcome.pages,
+                    },
+                );
+            }
+            return Some(spec.outcome);
+        }
+        // Mispredict: cancel and charge. `mark_range_speculative` flags
+        // only still-present, not-yet-speculative pages, so pages an
+        // overlapping real prefetch already charged are not double-billed.
+        let p0 = spec.offset / PAGE_SIZE;
+        let p1 = (spec.offset + spec.len).div_ceil(PAGE_SIZE);
+        let flagged = inner.os.mark_range_speculative(clock, self.fd, p0, p1);
+        inner.stats.ring_spec_cancelled.incr();
+        inner.stats.ring_spec_pages_charged.add(flagged);
+        inner.stats.pages_initiated.add(flagged);
+        if tracing {
+            inner.trace.emit(
+                clock.now(),
+                TraceEventKind::RingSpecCancelled {
+                    ino: self.file.ino,
+                    start_page: p0,
+                    pages_charged: flagged,
+                },
+            );
+        }
+        None
+    }
+
+    /// Pre-issues the predicted next demand read through the ring
+    /// (Foreactor style): worth it only when the whole target is still
+    /// missing from the user view — partial coverage means the normal
+    /// prefetch stream is already on it — and no staged batch overlaps
+    /// it. The read runs on the worker pool with the standard transient
+    /// retry ladder; an `Unsupported` kernel latches degradation and
+    /// aborts the speculation.
+    pub(crate) fn maybe_issue_spec(&self, clock: &mut ThreadClock, start_page: u64, end_page: u64) {
+        let inner = &self.runtime.inner;
+        if start_page >= end_page || self.spec.lock().is_some() {
+            return;
+        }
+        if inner.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let costs = &inner.os.config().costs;
+        let missing =
+            self.file
+                .tree
+                .missing_in(clock, costs, self.runtime.scope(), start_page, end_page);
+        if missing != [(start_page, end_page)] {
+            return;
+        }
+        let ino = self.file.ino;
+        if inner
+            .batch_queue
+            .any_staged(|run| run.file.ino == ino && run.start < end_page && start_page < run.end)
+        {
+            return;
+        }
+        inner.stats.ring_spec_issued.incr();
+        if inner.trace.is_enabled() {
+            inner.trace.emit(
+                clock.now(),
+                TraceEventKind::RingSpecIssued {
+                    ino,
+                    start_page,
+                    pages: end_page - start_page,
+                },
+            );
+        }
+        let offset = start_page * PAGE_SIZE;
+        let len = (end_page - start_page) * PAGE_SIZE;
+        let attempts = inner.config.prefetch_retry_attempts.max(1);
+        let est_ns = costs.syscall_ns;
+        let dispatch = inner.workers.dispatch(clock.now(), est_ns, |wclock| {
+            let demand = [ReadBatchEntry::new(self.fd, offset, len)];
+            let mut attempt: u32 = 0;
+            let mut backoff = inner.config.prefetch_retry_backoff_ns.max(1);
+            loop {
+                attempt += 1;
+                match inner.os.try_read_batch(wclock, &demand, &[]) {
+                    Ok((mut outcomes, _)) => match outcomes.pop() {
+                        Some(Ok(outcome)) => {
+                            *self.spec.lock() = Some(SpecRead {
+                                offset,
+                                len,
+                                outcome,
+                                ready_ns: wclock.now(),
+                            });
+                            return;
+                        }
+                        // Transient demand-class fault: retry below.
+                        // Pages the failed fill completed stay cached
+                        // (plain, uncharged), so dropping the
+                        // speculation on exhaustion loses nothing.
+                        Some(Err(_)) => {}
+                        None => return,
+                    },
+                    Err(_) => {
+                        // Unsupported kernel: the ring is gone; latch the
+                        // one-way downgrade and abort the speculation.
+                        if !inner.degraded.swap(true, Ordering::Relaxed) {
+                            inner
+                                .trace
+                                .emit(wclock.now(), TraceEventKind::VisibilityDowngraded { ino });
+                        }
+                        return;
+                    }
+                }
+                if attempt >= attempts {
+                    return;
+                }
+                inner.stats.prefetch_retries.incr();
+                inner.trace.emit(
+                    wclock.now(),
+                    TraceEventKind::PrefetchRetry {
+                        ino,
+                        start_page,
+                        pages: end_page - start_page,
+                        attempt,
+                    },
+                );
+                wclock.advance(backoff);
+                crate::span::record_leaf(SpanKind::RetryBackoff, backoff, wclock.now());
+                backoff = backoff.saturating_mul(2);
+            }
+        });
+        inner
+            .metrics
+            .worker_queue_ns
+            .record(dispatch.queue_wait_ns());
+        crate::span::record_leaf(SpanKind::RingSubmit, dispatch.latency_ns(), dispatch.end_ns);
     }
 
     // ----- prediction-engine plumbing ----------------------------------------

@@ -67,6 +67,14 @@ pub enum SpanKind {
     BatchFlush,
     /// Virtual-time backoff before a prefetch retry attempt.
     RetryBackoff,
+    /// A speculative ring pre-issue, enqueue to completion (detached
+    /// worker timeline — always an async child).
+    RingSubmit,
+    /// Ring completion handling on the demand path: the wait for a
+    /// speculative pre-issue's data to become ready before absorbing it,
+    /// or the detached piggyback-completion dispatch (which records under
+    /// a suspended frame and attaches async).
+    RingComplete,
 }
 
 impl SpanKind {
@@ -79,6 +87,8 @@ impl SpanKind {
             SpanKind::WorkerRun => "worker-run",
             SpanKind::BatchFlush => "batch-flush",
             SpanKind::RetryBackoff => "retry-backoff",
+            SpanKind::RingSubmit => "ring-submit",
+            SpanKind::RingComplete => "ring-complete",
         }
     }
 
@@ -91,6 +101,7 @@ impl SpanKind {
                 | SpanKind::WorkerQueueWait
                 | SpanKind::WorkerRun
                 | SpanKind::BatchFlush
+                | SpanKind::RingSubmit
         )
     }
 }
@@ -133,16 +144,17 @@ impl CriticalPath {
             SpanKind::Os(OsSpanKind::TreeLockWait)
             | SpanKind::Os(OsSpanKind::BitmapLockWait)
             | SpanKind::LibTreeLockWait => self.lock_wait_ns += dur_ns,
-            SpanKind::Os(OsSpanKind::ReadyWait) | SpanKind::Os(OsSpanKind::DeviceRead) => {
-                self.device_service_ns += dur_ns
-            }
+            SpanKind::Os(OsSpanKind::ReadyWait)
+            | SpanKind::Os(OsSpanKind::DeviceRead)
+            | SpanKind::RingComplete => self.device_service_ns += dur_ns,
             SpanKind::Os(OsSpanKind::ReclaimPass) => self.stage_compute_ns += dur_ns,
             SpanKind::RetryBackoff => self.retry_backoff_ns += dur_ns,
             SpanKind::WorkerQueueWait => self.queue_wait_ns += dur_ns,
             // Forced-async kinds never reach here; routed defensively.
             SpanKind::Os(OsSpanKind::DevicePrefetch)
             | SpanKind::WorkerRun
-            | SpanKind::BatchFlush => self.stage_compute_ns += dur_ns,
+            | SpanKind::BatchFlush
+            | SpanKind::RingSubmit => self.stage_compute_ns += dur_ns,
         }
     }
 }

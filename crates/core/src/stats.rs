@@ -63,6 +63,28 @@ pub struct LibStats {
     /// Syscall crossings batching avoided: for a flush of N entries,
     /// N-1 crossings the unbatched path would have paid.
     pub batch_crossings_saved: Counter,
+    /// Staged prefetch runs drained from the submission queues and
+    /// piggybacked on a demand-read ring crossing
+    /// ([`crate::RuntimeConfig::ring_submit`]) instead of waiting for
+    /// their own flush.
+    pub ring_staged_runs_piggybacked: Counter,
+    /// Speculative next-read pre-issues the ring dispatched (Foreactor
+    /// style: the predictor's next demand read, issued before the
+    /// application asks).
+    pub ring_spec_issued: Counter,
+    /// Speculative pre-issues absorbed by a matching demand read.
+    pub ring_spec_absorbed: Counter,
+    /// Speculative pre-issues cancelled on mispredict (the demand read
+    /// targeted a different range).
+    pub ring_spec_cancelled: Counter,
+    /// Pages cancelled speculative reads left in the cache, re-entered
+    /// into the prefetch-quality ledger as charged (initiated) pages so
+    /// they surface as `wasted` if never used.
+    pub ring_spec_pages_charged: Counter,
+    /// Deadline-timer firings by the completion reactor (batches flushed
+    /// *at* their virtual-time deadline rather than at the next read's
+    /// convenience).
+    pub ring_timer_fires: Counter,
     /// Correlation-mined prefetch runs issued by the prediction engine
     /// (zero under the strided default, which emits no association runs).
     pub engine_assoc_runs: Counter,

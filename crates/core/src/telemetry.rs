@@ -129,6 +129,28 @@ pub struct RuntimeReport {
     pub engine_duels: u64,
     /// Adaptive ownership changes.
     pub engine_ownership_flips: u64,
+    /// Whether the completion-driven ring was enabled (policy-resolved:
+    /// the config knob ANDed with cache visibility).
+    pub ring_enabled: bool,
+    /// Demand reads the ring absorbed without a syscall crossing.
+    pub ring_absorbed_reads: u64,
+    /// Vectored `read_batch` crossings the OS served (demand entries
+    /// plus piggybacked prefetch runs per call).
+    pub ring_demand_batch_calls: u64,
+    /// Staged prefetch runs piggybacked on demand-read ring crossings.
+    pub ring_staged_runs_piggybacked: u64,
+    /// Speculative next-read pre-issues dispatched.
+    pub ring_spec_issued: u64,
+    /// Speculative pre-issues absorbed by a matching demand read.
+    pub ring_spec_absorbed: u64,
+    /// Speculative pre-issues cancelled on mispredict.
+    pub ring_spec_cancelled: u64,
+    /// Pages cancelled speculations re-entered into the quality ledger.
+    pub ring_spec_pages_charged: u64,
+    /// Deadline-timer firings by the completion reactor. The timer also
+    /// serves plain `batch_submit` mode (overdue batches flush at their
+    /// own due time), so this can be nonzero with the ring disabled.
+    pub ring_timer_fires: u64,
     /// Per-stage virtual-time cost of the staged read pipeline, in
     /// [`PipelineStage::all`] order as `(stage name, distribution)`.
     pub stage_latency: Vec<(&'static str, HistogramSnapshot)>,
@@ -212,6 +234,15 @@ impl RuntimeReport {
             engine_mining_passes: stats.engine_mining_passes.get(),
             engine_duels: stats.engine_duels.get(),
             engine_ownership_flips: stats.engine_ownership_flips.get(),
+            ring_enabled: runtime.inner.policy.ring,
+            ring_absorbed_reads: os.stats().absorbed_reads.get(),
+            ring_demand_batch_calls: os.stats().read_batch_calls.get(),
+            ring_staged_runs_piggybacked: stats.ring_staged_runs_piggybacked.get(),
+            ring_spec_issued: stats.ring_spec_issued.get(),
+            ring_spec_absorbed: stats.ring_spec_absorbed.get(),
+            ring_spec_cancelled: stats.ring_spec_cancelled.get(),
+            ring_spec_pages_charged: stats.ring_spec_pages_charged.get(),
+            ring_timer_fires: stats.ring_timer_fires.get(),
             stage_latency: PipelineStage::all()
                 .iter()
                 .map(|&stage| (stage.name(), metrics.stage_hist(stage).snapshot()))
@@ -353,6 +384,31 @@ impl RuntimeReport {
             engine_ownership_flips: self
                 .engine_ownership_flips
                 .saturating_sub(earlier.engine_ownership_flips),
+            ring_enabled: self.ring_enabled,
+            ring_absorbed_reads: self
+                .ring_absorbed_reads
+                .saturating_sub(earlier.ring_absorbed_reads),
+            ring_demand_batch_calls: self
+                .ring_demand_batch_calls
+                .saturating_sub(earlier.ring_demand_batch_calls),
+            ring_staged_runs_piggybacked: self
+                .ring_staged_runs_piggybacked
+                .saturating_sub(earlier.ring_staged_runs_piggybacked),
+            ring_spec_issued: self
+                .ring_spec_issued
+                .saturating_sub(earlier.ring_spec_issued),
+            ring_spec_absorbed: self
+                .ring_spec_absorbed
+                .saturating_sub(earlier.ring_spec_absorbed),
+            ring_spec_cancelled: self
+                .ring_spec_cancelled
+                .saturating_sub(earlier.ring_spec_cancelled),
+            ring_spec_pages_charged: self
+                .ring_spec_pages_charged
+                .saturating_sub(earlier.ring_spec_pages_charged),
+            ring_timer_fires: self
+                .ring_timer_fires
+                .saturating_sub(earlier.ring_timer_fires),
             stage_latency: self
                 .stage_latency
                 .iter()
@@ -537,6 +593,23 @@ impl RuntimeReport {
             ));
         }
         out.push_str("}},");
+        // Completion-driven ring (all-zero when `ring_submit` is off, so
+        // the additive section's presence never depends on the knob).
+        out.push_str("\"ring\":{");
+        out.push_str(&format!("\"enabled\":{},", self.ring_enabled));
+        push_field(&mut out, "absorbed_reads", self.ring_absorbed_reads);
+        push_field(&mut out, "demand_batch_calls", self.ring_demand_batch_calls);
+        push_field(
+            &mut out,
+            "staged_runs_piggybacked",
+            self.ring_staged_runs_piggybacked,
+        );
+        push_field(&mut out, "spec_issued", self.ring_spec_issued);
+        push_field(&mut out, "spec_absorbed", self.ring_spec_absorbed);
+        push_field(&mut out, "spec_cancelled", self.ring_spec_cancelled);
+        push_field(&mut out, "spec_pages_charged", self.ring_spec_pages_charged);
+        out.push_str(&format!("\"timer_fires\":{}", self.ring_timer_fires));
+        out.push_str("},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
         // determinism checks across shard counts compare the prefix.
@@ -724,6 +797,24 @@ impl fmt::Display for RuntimeReport {
                 self.batch_flush_full,
                 self.batch_flush_deadline,
                 self.batch_flush_explicit
+            )?;
+        }
+        if self.ring_enabled
+            || self.ring_absorbed_reads > 0
+            || self.ring_demand_batch_calls > 0
+            || self.ring_timer_fires > 0
+        {
+            writeln!(
+                f,
+                "ring       : {} absorbed reads, {} batch crossings ({} piggybacked runs), spec {} issued / {} absorbed / {} cancelled ({} pages charged), {} timer fires",
+                self.ring_absorbed_reads,
+                self.ring_demand_batch_calls,
+                self.ring_staged_runs_piggybacked,
+                self.ring_spec_issued,
+                self.ring_spec_absorbed,
+                self.ring_spec_cancelled,
+                self.ring_spec_pages_charged,
+                self.ring_timer_fires
             )?;
         }
         if self.engine != "strided" || self.engine_assoc_runs > 0 || self.engine_mining_passes > 0 {

@@ -28,7 +28,7 @@ use simos::{InodeId, OsTraceEvent, OsTraceSink};
 
 use crate::metrics::ReadClass;
 use crate::predictor::AccessPattern;
-use crate::worker::FlushReason;
+use crate::ring::FlushReason;
 
 /// Default ring capacity (events).
 pub const DEFAULT_TRACE_CAPACITY: usize = 64 * 1024;
@@ -211,6 +211,45 @@ pub enum TraceEventKind {
         /// What triggered the flush.
         reason: FlushReason,
     },
+    /// One combined ring crossing (bridged): demand reads and staged
+    /// prefetch entries submitted as a single vectored syscall.
+    RingCrossing {
+        /// Demand-read entries the crossing carried.
+        demand_entries: u64,
+        /// Staged prefetch entries piggybacked on the crossing.
+        ra_entries: u64,
+    },
+    /// A demand read was absorbed by the ring without a syscall crossing
+    /// (fully cached, confirmed via the shared bitmap, or a matching
+    /// speculative pre-issue).
+    RingAbsorbed {
+        /// File read.
+        ino: InodeId,
+        /// First page of the absorbed range.
+        start_page: u64,
+        /// Pages absorbed.
+        pages: u64,
+    },
+    /// The ring pre-issued the predicted next demand read speculatively.
+    RingSpecIssued {
+        /// Target file.
+        ino: InodeId,
+        /// First page of the speculative range.
+        start_page: u64,
+        /// Pages pre-issued.
+        pages: u64,
+    },
+    /// A speculative pre-issue was cancelled on mispredict; its filled
+    /// pages re-entered the prefetch-quality ledger as charged pages.
+    RingSpecCancelled {
+        /// Target file.
+        ino: InodeId,
+        /// First page of the cancelled range.
+        start_page: u64,
+        /// Pages charged as initiated (they surface as wasted if never
+        /// used).
+        pages_charged: u64,
+    },
     /// The adaptive engine's duel crowned a new owner for a descriptor's
     /// prefetch decisions (the per-file engine-selection timeline).
     EngineOwner {
@@ -241,6 +280,10 @@ impl TraceEventKind {
             TraceEventKind::VisibilityDowngraded { .. } => "visibility-downgraded",
             TraceEventKind::ReadError { .. } => "read-error",
             TraceEventKind::BatchFlushed { .. } => "batch-flushed",
+            TraceEventKind::RingCrossing { .. } => "ring-crossing",
+            TraceEventKind::RingAbsorbed { .. } => "ring-absorbed",
+            TraceEventKind::RingSpecIssued { .. } => "ring-spec-issued",
+            TraceEventKind::RingSpecCancelled { .. } => "ring-spec-cancelled",
             TraceEventKind::EngineOwner { .. } => "engine-owner",
         }
     }
@@ -376,6 +419,25 @@ impl fmt::Display for TraceEvent {
             } => {
                 write!(f, "runs={} pages={} reason={}", runs, pages, reason.name())
             }
+            TraceEventKind::RingCrossing {
+                demand_entries,
+                ra_entries,
+            } => write!(f, "demand={demand_entries} ra={ra_entries}"),
+            TraceEventKind::RingAbsorbed {
+                ino,
+                start_page,
+                pages,
+            } => write!(f, "ino={} pages={}+{}", ino.0, start_page, pages),
+            TraceEventKind::RingSpecIssued {
+                ino,
+                start_page,
+                pages,
+            } => write!(f, "ino={} pages={}+{}", ino.0, start_page, pages),
+            TraceEventKind::RingSpecCancelled {
+                ino,
+                start_page,
+                pages_charged,
+            } => write!(f, "ino={} pages={}+{}", ino.0, start_page, pages_charged),
             TraceEventKind::EngineOwner { ino, engine } => {
                 write!(f, "ino={} engine={engine}", ino.0)
             }
@@ -545,6 +607,13 @@ impl OsTraceSink for TraceLog {
             } => TraceEventKind::OsReclaim {
                 target_pages,
                 freed_pages,
+            },
+            OsTraceEvent::ReadBatch {
+                demand_entries,
+                ra_entries,
+            } => TraceEventKind::RingCrossing {
+                demand_entries,
+                ra_entries,
             },
         };
         self.emit(ts_ns, kind);

@@ -12,15 +12,15 @@
 //! worker pool: a saturated pool delays prefetches, and more workers
 //! (`NR_WORKERS_VAR`) drain the queue faster.
 //!
-//! The pool also hosts the submission-queue half of the batched prefetch
-//! path ([`SubmissionQueue`]): per-worker bounded batches that flush on
-//! size or virtual-time deadline, io_uring-style, so N planned runs cross
-//! into the OS as one vectored call.
+//! Workers double as the completion reactors of the submission ring
+//! ([`crate::ring::SubmissionQueue`]): each staged batch is bound to a
+//! worker slot, and when the reactor timer fires the batch dispatches
+//! onto that worker *at its deadline* in virtual time (the server model
+//! handles past enqueue times naturally — the job starts at
+//! `max(due_ns, clear_time)`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use simclock::{FcfsResource, GlobalClock, ThreadClock};
 
 /// Timing facts about one dispatched job, for telemetry.
@@ -171,164 +171,6 @@ impl WorkerPool {
     }
 }
 
-// ----- batched submission (the SQ half of the SQ/CQ model) -----------------
-
-/// Why a submission batch left its queue slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FlushReason {
-    /// The batch reached its entry capacity.
-    Full,
-    /// The batch sat open past its virtual-time deadline.
-    Deadline,
-    /// An explicit drain (end of run, cache-view drop, bench boundary).
-    Explicit,
-}
-
-impl FlushReason {
-    /// Stable label used in traces and telemetry.
-    pub fn name(self) -> &'static str {
-        match self {
-            FlushReason::Full => "full",
-            FlushReason::Deadline => "deadline",
-            FlushReason::Explicit => "explicit",
-        }
-    }
-}
-
-/// One open batch: accumulated entries plus the virtual time the batch was
-/// opened (its deadline base).
-#[derive(Debug)]
-struct Slot<T> {
-    entries: Vec<T>,
-    opened_ns: u64,
-}
-
-/// A bounded per-worker submission queue: entries accumulate per slot and
-/// flush as whole batches when a slot fills ([`FlushReason::Full`]), when
-/// its oldest entry ages past the deadline ([`FlushReason::Deadline`]), or
-/// on explicit drain ([`FlushReason::Explicit`]).
-///
-/// The queue itself is timing-free bookkeeping — callers decide *when* to
-/// consult it (the read path checks [`SubmissionQueue::next_deadline_ns`],
-/// one relaxed load, before paying any locking).
-#[derive(Debug)]
-pub struct SubmissionQueue<T> {
-    slots: Vec<Mutex<Slot<T>>>,
-    max_entries: usize,
-    deadline_ns: u64,
-    /// Earliest deadline over all open batches; `u64::MAX` when every slot
-    /// is empty. A monotone hint (maintained with `fetch_min` on push and
-    /// recomputed on drain), so the hot path can skip the slot locks.
-    earliest_due_ns: AtomicU64,
-}
-
-impl<T> SubmissionQueue<T> {
-    /// A queue with one slot per worker, flushing at `max_entries` entries
-    /// or `deadline_ns` virtual nanoseconds after a batch opens.
-    pub fn new(slots: usize, max_entries: usize, deadline_ns: u64) -> Self {
-        Self {
-            slots: (0..slots.max(1))
-                .map(|_| {
-                    Mutex::new(Slot {
-                        entries: Vec::new(),
-                        opened_ns: 0,
-                    })
-                })
-                .collect(),
-            max_entries: max_entries.max(1),
-            deadline_ns,
-            earliest_due_ns: AtomicU64::new(u64::MAX),
-        }
-    }
-
-    /// Number of slots (one per worker).
-    pub fn slots(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Entry capacity per batch.
-    pub fn max_entries(&self) -> usize {
-        self.max_entries
-    }
-
-    /// The earliest virtual time at which any open batch becomes due, or
-    /// `u64::MAX` when no batch is open. One relaxed load.
-    pub fn next_deadline_ns(&self) -> u64 {
-        self.earliest_due_ns.load(Ordering::Relaxed)
-    }
-
-    /// Appends `item` to `slot`'s open batch (opening one at `now` if the
-    /// slot was empty). Returns the whole batch when this push filled it
-    /// or when the batch was already past its deadline; the caller owns
-    /// submitting the returned batch.
-    pub fn push(&self, slot: usize, now: u64, item: T) -> Option<(Vec<T>, FlushReason)> {
-        let mut guard = self.slots[slot % self.slots.len()].lock();
-        if guard.entries.is_empty() {
-            guard.opened_ns = now;
-        }
-        guard.entries.push(item);
-        if guard.entries.len() >= self.max_entries {
-            let batch = std::mem::take(&mut guard.entries);
-            drop(guard);
-            self.recompute_due();
-            return Some((batch, FlushReason::Full));
-        }
-        if now >= guard.opened_ns.saturating_add(self.deadline_ns) {
-            let batch = std::mem::take(&mut guard.entries);
-            drop(guard);
-            self.recompute_due();
-            return Some((batch, FlushReason::Deadline));
-        }
-        let due = guard.opened_ns.saturating_add(self.deadline_ns);
-        drop(guard);
-        self.earliest_due_ns.fetch_min(due, Ordering::Relaxed);
-        None
-    }
-
-    /// Drains every batch whose deadline has passed at `now`, returning
-    /// `(slot, batch)` pairs in slot order.
-    pub fn drain_due(&self, now: u64) -> Vec<(usize, Vec<T>)> {
-        let mut due = Vec::new();
-        for (idx, slot) in self.slots.iter().enumerate() {
-            let mut guard = slot.lock();
-            if !guard.entries.is_empty() && now >= guard.opened_ns.saturating_add(self.deadline_ns)
-            {
-                due.push((idx, std::mem::take(&mut guard.entries)));
-            }
-        }
-        if !due.is_empty() {
-            self.recompute_due();
-        }
-        due
-    }
-
-    /// Drains every open batch regardless of age, returning `(slot, batch)`
-    /// pairs in slot order (the [`FlushReason::Explicit`] path).
-    pub fn drain_all(&self) -> Vec<(usize, Vec<T>)> {
-        let mut all = Vec::new();
-        for (idx, slot) in self.slots.iter().enumerate() {
-            let mut guard = slot.lock();
-            if !guard.entries.is_empty() {
-                all.push((idx, std::mem::take(&mut guard.entries)));
-            }
-        }
-        self.earliest_due_ns.store(u64::MAX, Ordering::Relaxed);
-        all
-    }
-
-    /// Recomputes the earliest-deadline hint from the open batches.
-    fn recompute_due(&self) {
-        let mut earliest = u64::MAX;
-        for slot in &self.slots {
-            let guard = slot.lock();
-            if !guard.entries.is_empty() {
-                earliest = earliest.min(guard.opened_ns.saturating_add(self.deadline_ns));
-            }
-        }
-        self.earliest_due_ns.store(earliest, Ordering::Relaxed);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,53 +254,5 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         pool(0);
-    }
-
-    #[test]
-    fn queue_flushes_when_full() {
-        let queue: SubmissionQueue<u64> = SubmissionQueue::new(2, 3, 1_000_000);
-        assert!(queue.push(0, 0, 1).is_none());
-        assert!(queue.push(0, 10, 2).is_none());
-        let (batch, reason) = queue.push(0, 20, 3).expect("third push fills the batch");
-        assert_eq!(batch, vec![1, 2, 3]);
-        assert_eq!(reason, FlushReason::Full);
-        // The slot restarts empty.
-        assert!(queue.push(0, 30, 4).is_none());
-    }
-
-    #[test]
-    fn queue_flushes_on_deadline() {
-        let queue: SubmissionQueue<u64> = SubmissionQueue::new(1, 16, 1_000);
-        assert!(queue.push(0, 0, 1).is_none());
-        assert_eq!(queue.next_deadline_ns(), 1_000);
-        // Nothing due yet.
-        assert!(queue.drain_due(999).is_empty());
-        let due = queue.drain_due(1_000);
-        assert_eq!(due.len(), 1);
-        assert_eq!(due[0].1, vec![1]);
-        assert_eq!(queue.next_deadline_ns(), u64::MAX);
-    }
-
-    #[test]
-    fn late_push_flushes_expired_batch() {
-        let queue: SubmissionQueue<u64> = SubmissionQueue::new(1, 16, 1_000);
-        assert!(queue.push(0, 0, 1).is_none());
-        let (batch, reason) = queue.push(0, 5_000, 2).expect("past-deadline push flushes");
-        assert_eq!(batch, vec![1, 2]);
-        assert_eq!(reason, FlushReason::Deadline);
-    }
-
-    #[test]
-    fn drain_all_empties_every_slot() {
-        let queue: SubmissionQueue<u64> = SubmissionQueue::new(3, 16, 1_000_000);
-        queue.push(0, 0, 1);
-        queue.push(2, 0, 2);
-        queue.push(2, 0, 3);
-        let drained = queue.drain_all();
-        assert_eq!(drained.len(), 2);
-        assert_eq!(drained[0], (0, vec![1]));
-        assert_eq!(drained[1], (2, vec![2, 3]));
-        assert!(queue.drain_all().is_empty());
-        assert_eq!(queue.next_deadline_ns(), u64::MAX);
     }
 }

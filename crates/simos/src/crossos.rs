@@ -421,6 +421,30 @@ fn overlap(s: u64, e: u64, a: u64, b: u64) -> u64 {
     e.min(b).saturating_sub(s.max(a))
 }
 
+/// Removes `[a, b)` from the disjoint sorted range set, returning how
+/// many pages were claimed. Ranges partially covered are split so every
+/// page is claimed at most once across calls.
+fn claim_overlap(ranges: &mut Vec<(u64, u64)>, a: u64, b: u64) -> u64 {
+    let mut claimed = 0u64;
+    let mut next: Vec<(u64, u64)> = Vec::with_capacity(ranges.len() + 1);
+    for &(s, e) in ranges.iter() {
+        let took = overlap(s, e, a, b);
+        if took == 0 {
+            next.push((s, e));
+            continue;
+        }
+        claimed += took;
+        if s < a {
+            next.push((s, a));
+        }
+        if e > b {
+            next.push((b, e));
+        }
+    }
+    *ranges = next;
+    claimed
+}
+
 impl Os {
     /// Batched prefetch submission — the vectored form of
     /// [`Os::try_readahead_info`] (SQ/CQ model). The caller hands over a
@@ -454,11 +478,24 @@ impl Os {
             self.stats().ra_info_unsupported.incr();
             return Err(IoError::Unsupported);
         }
-        let costs = &self.config().costs;
-        clock.advance(costs.syscall_ns);
+        clock.advance(self.config().costs.syscall_ns);
         self.stats().syscalls.incr();
         self.stats().ra_batch_calls.incr();
+        Ok(self.readahead_batch_body(clock, entries))
+    }
 
+    /// The crossing-free body of the vectored prefetch path: grouping,
+    /// merging, device submission, and publication exactly as
+    /// [`Os::try_readahead_batch`], without the boundary charge or the
+    /// `syscalls`/`ra_batch_calls` counters. The combined ring crossing
+    /// ([`Os::try_read_batch`]) runs staged prefetch entries through this
+    /// body after its demand half, sharing one syscall charge.
+    pub(crate) fn readahead_batch_body(
+        &self,
+        clock: &mut ThreadClock,
+        entries: &[RaBatchEntry],
+    ) -> Vec<RaBatchCompletion> {
+        let costs = &self.config().costs;
         let mut completions = vec![RaBatchCompletion::default(); entries.len()];
 
         // Group entries by inode, first-appearance order (deterministic).
@@ -597,16 +634,26 @@ impl Os {
                     let t1 = before + span * done / total.max(1);
                     push_interpolated_ready(&mut inserted, s, e, t0, t1);
                 }
+                // Bill every scheduled page to exactly one completion:
+                // each member *claims* (removes) its overlap from the
+                // scheduled set, so a page shared by overlapping members is
+                // billed once, and merge-gap pages — read, published, and
+                // flagged despite overlapping no member's byte range — go
+                // to the run's head member.
+                let mut unclaimed = scheduled.clone();
                 for &mi in &run.3 {
                     let m = &members[mi];
-                    let init: u64 = scheduled
-                        .iter()
-                        .map(|&(s, e)| overlap(s, e, m.p0, m.p1))
-                        .sum();
+                    let init = claim_overlap(&mut unclaimed, m.p0, m.p1);
                     completions[m.idx].initiated_pages = init;
                     if init > 0 {
                         completions[m.idx].ready_at_ns = after;
                     }
+                }
+                let gap: u64 = unclaimed.iter().map(|&(s, e)| e - s).sum();
+                if gap > 0 {
+                    let head = &mut completions[members[run.3[0]].idx];
+                    head.initiated_pages += gap;
+                    head.ready_at_ns = after;
                 }
                 publish_pages += total;
             }
@@ -640,7 +687,259 @@ impl Os {
             }
         }
 
-        Ok(completions)
+        completions
+    }
+}
+
+/// One demand-read entry of a combined ring submission
+/// ([`Os::try_read_batch`]): a `read(2)`-shaped request that crosses
+/// alongside staged prefetch entries.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadBatchEntry {
+    /// Descriptor to read from.
+    pub fd: Fd,
+    /// Byte offset of the read.
+    pub offset: u64,
+    /// Byte length of the read.
+    pub len: u64,
+}
+
+impl ReadBatchEntry {
+    /// A demand-read entry over a byte range.
+    pub fn new(fd: Fd, offset: u64, len: u64) -> Self {
+        Self { fd, offset, len }
+    }
+}
+
+/// The CQ of one combined ring crossing: per-demand-entry outcomes paired
+/// with per-prefetch-entry completions.
+pub type ReadBatchResult<E> = (
+    Vec<Result<crate::os::ReadOutcome, E>>,
+    Vec<RaBatchCompletion>,
+);
+
+impl Os {
+    /// Combined ring crossing: demand reads and staged prefetch entries
+    /// submitted as **one** vectored syscall (the io_uring-style shared
+    /// SQ). The demand half runs each entry through the full read-path
+    /// body (classification, ready-wait, synchronous demand fill,
+    /// heuristic-readahead tail) on the caller's clock — demand misses
+    /// stay on the critical path exactly as `read(2)` — while the
+    /// prefetch half reuses the vectored [`Os::try_readahead_batch`] body
+    /// off the critical path. Only one `syscall_ns` boundary charge is
+    /// paid for the whole submission.
+    ///
+    /// Demand entries never consult the fault plan (the infallible
+    /// discipline of [`Os::read_charge`]); prefetch-half device faults
+    /// surface per entry via [`RaBatchCompletion::error`].
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Unsupported`] when the kernel lacks CROSS-OS
+    /// ([`crate::OsConfig::readahead_info_supported`] is `false`): the
+    /// whole submission is rejected after the one failed probe crossing
+    /// and nothing runs.
+    pub fn read_batch(
+        &self,
+        clock: &mut ThreadClock,
+        demand: &[ReadBatchEntry],
+        prefetch: &[RaBatchEntry],
+    ) -> Result<(Vec<crate::os::ReadOutcome>, Vec<RaBatchCompletion>), IoError> {
+        self.read_batch_impl::<crate::os::NeverFault>(clock, demand, prefetch)
+            .map(|(outcomes, completions)| {
+                (
+                    outcomes.into_iter().map(crate::os::into_ok).collect(),
+                    completions,
+                )
+            })
+    }
+
+    /// Fallible variant of [`Os::read_batch`]: demand entries consult the
+    /// fault plan ([`Os::try_read_charge`] semantics, per entry), so each
+    /// demand outcome is its own `Result`.
+    ///
+    /// # Errors
+    ///
+    /// [`IoError::Unsupported`] as for [`Os::read_batch`]. Transient
+    /// demand-fill faults surface per demand entry; prefetch faults per
+    /// prefetch entry.
+    pub fn try_read_batch(
+        &self,
+        clock: &mut ThreadClock,
+        demand: &[ReadBatchEntry],
+        prefetch: &[RaBatchEntry],
+    ) -> Result<ReadBatchResult<IoError>, IoError> {
+        self.read_batch_impl::<crate::os::MayFault>(clock, demand, prefetch)
+    }
+
+    fn read_batch_impl<F: crate::os::FaultMode>(
+        &self,
+        clock: &mut ThreadClock,
+        demand: &[ReadBatchEntry],
+        prefetch: &[RaBatchEntry],
+    ) -> Result<ReadBatchResult<F::Error>, IoError> {
+        if !self.config().readahead_info_supported {
+            clock.advance(self.config().costs.syscall_ns);
+            self.stats().syscalls.incr();
+            self.stats().ra_info_unsupported.incr();
+            return Err(IoError::Unsupported);
+        }
+        clock.advance(self.config().costs.syscall_ns);
+        self.stats().syscalls.incr();
+        self.stats().read_batch_calls.incr();
+        if let Some(sink) = self.trace_sink() {
+            sink.emit_os_event(
+                clock.now(),
+                crate::trace::OsTraceEvent::ReadBatch {
+                    demand_entries: demand.len() as u64,
+                    ra_entries: prefetch.len() as u64,
+                },
+            );
+        }
+        // Demand first: with the ring disabled, staged batches still
+        // waiting on their deadline flush *after* the triggering read, so
+        // the demand fill covers its own misses and the later flush
+        // deduplicates against them. Running the demand half first keeps
+        // that ordering — and thus the hit/miss accounting — identical.
+        let outcomes = demand
+            .iter()
+            .map(|entry| self.read_charge_body::<F>(clock, entry.fd, entry.offset, entry.len))
+            .collect();
+        let completions = self.readahead_batch_body(clock, prefetch);
+        Ok((outcomes, completions))
+    }
+
+    /// Completion-ring absorption of a fully cached demand read: the
+    /// user-level runtime believes `[offset, offset+len)` is resident, and
+    /// this call confirms it against the shared CROSS-OS bitmap *without a
+    /// syscall crossing* — paying only the bitmap scan, any residual
+    /// ready-wait, and the user-copy. Returns `None` (leaving all state
+    /// untouched) when the view is stale (pages actually missing) or when
+    /// in-flight readiness is far enough out that the syscall path's
+    /// demand-bypass would be faster — the caller then falls back to the
+    /// normal crossing, keeping cache accounting identical either way.
+    pub fn absorb_read(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Option<crate::os::ReadOutcome> {
+        let costs = &self.config().costs;
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let size = self.fs().size(entry.ino);
+        let len = len.min(size.saturating_sub(offset));
+        if len == 0 {
+            return None;
+        }
+        let p0 = offset / PAGE_SIZE;
+        let p1 = (offset + len).div_ceil(PAGE_SIZE);
+        let pages = p1 - p0;
+
+        // Completion check on the delineated path: bitmap read lock, never
+        // the cache-tree lock.
+        let spans = self.span_sink();
+        let scan = cache
+            .bitmap_lock
+            .read(clock.now(), costs.bitmap_scan_ns(pages));
+        clock.advance_to(scan.end_ns);
+        if scan.wait_ns > 0 {
+            if let Some(sink) = spans {
+                sink.emit_os_span(scan.end_ns, OsSpanKind::BitmapLockWait, scan.wait_ns);
+            }
+        }
+
+        let (timely, late, ready_at) = {
+            let mut state = cache.state.write();
+            if !state.missing_runs(p0, p1).is_empty() {
+                // Stale user-level view (OS reclaim beat us): nothing was
+                // mutated, so the normal syscall path still sees a
+                // pristine range and accounts the misses itself.
+                return None;
+            }
+            let ready_at = state.ready_max(p0, p1);
+            let refetch_estimate = self.device().config().read_request_latency_ns()
+                + simclock::transfer_ns(pages * PAGE_SIZE, self.device().config().read_bw);
+            if ready_at.saturating_sub(clock.now()) > refetch_estimate * 2 {
+                // The syscall path would overtake this queued prefetch
+                // with a demand read; let it.
+                return None;
+            }
+            let (timely, late) = state.classify_access(p0, p1, clock.now());
+            (timely, late, ready_at)
+        };
+        cache.hits.add(pages);
+        self.stats().hit_pages.add(pages);
+        let wait = ready_at.saturating_sub(clock.now());
+        if wait > 0 {
+            self.stats().ready_wait_ns.add(wait);
+            clock.advance_to(ready_at);
+            if let Some(sink) = spans {
+                sink.emit_os_span(ready_at, OsSpanKind::ReadyWait, wait);
+            }
+        }
+        let now = clock.now();
+        cache.state.write().touch_range(p0, p1, now);
+        clock.advance(costs.copy_pages_ns(pages));
+        self.stats().bytes_read.add(len);
+        self.stats().absorbed_reads.incr();
+
+        // Keep the heuristic-readahead state machine in lockstep with the
+        // syscall path (every ring-eligible mode silences it at open, but
+        // the descriptor state must not diverge).
+        let ra_request = entry.ra.lock().on_read(p0, pages);
+        if let Some(req) = ra_request {
+            if let Some(sink) = self.trace_sink() {
+                sink.emit_os_event(
+                    clock.now(),
+                    crate::trace::OsTraceEvent::RaWindowGrow {
+                        ino: entry.ino,
+                        start_page: req.start,
+                        window_pages: req.count,
+                    },
+                );
+            }
+            self.prefetch_via_tree(clock, entry.ino, &cache, req.start, req.count);
+        }
+
+        Some(crate::os::ReadOutcome {
+            pages,
+            hit_pages: pages,
+            miss_pages: 0,
+            prefetch_hit_pages: timely + late,
+            bytes: len,
+        })
+    }
+
+    /// Cancellation path of a speculative pre-issued read: re-flags the
+    /// still-present pages of `[start_page, end_page)` as speculative so
+    /// they re-enter the prefetch-quality ledger (touched later → timely
+    /// or late; evicted untouched → wasted). Charged as a short bitmap
+    /// write. Returns the number of pages re-flagged — the caller must
+    /// bill exactly that many against its initiated-pages ledger to keep
+    /// the quality-sum invariant.
+    pub fn mark_range_speculative(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        start_page: u64,
+        end_page: u64,
+    ) -> u64 {
+        let costs = &self.config().costs;
+        let pages = end_page.saturating_sub(start_page);
+        if pages == 0 {
+            return 0;
+        }
+        let entry = self.fd_entry(fd);
+        let cache = self.cache(entry.ino);
+        let access = cache.bitmap_lock.write(
+            clock.now(),
+            costs.bitmap_lock_hold_ns + costs.bitmap_scan_ns(pages),
+        );
+        clock.advance_to(access.end_ns);
+        let flagged = cache.state.write().mark_speculative(start_page, end_page);
+        flagged
     }
 }
 
@@ -935,6 +1234,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_billing_is_closed_over_gaps_and_overlaps() {
+        // Two entries within the merge gap (the pages between them get
+        // scheduled as part of the merged run) plus a third overlapping
+        // the first: the completions must bill every physically initiated
+        // page exactly once — gap pages to the head member, shared pages
+        // to whichever member claims them first — so the caller's
+        // `pages_initiated` ledger matches the OS's prefetch flags.
+        let (os, fd, mut clock) = os_with_file(64 << 20);
+        let gap = os.config().ra_max_pages / 2;
+        let entries = [
+            RaBatchEntry::new(fd, 0, 32 * PAGE_SIZE).with_limit_pages(256),
+            RaBatchEntry::new(fd, (32 + gap) * PAGE_SIZE, 32 * PAGE_SIZE).with_limit_pages(256),
+            RaBatchEntry::new(fd, 16 * PAGE_SIZE, 32 * PAGE_SIZE).with_limit_pages(256),
+        ];
+        let completions = os.try_readahead_batch(&mut clock, &entries).unwrap();
+        assert!(completions.iter().all(|c| c.error.is_none()));
+        let billed: u64 = completions.iter().map(|c| c.initiated_pages).sum();
+        assert_eq!(
+            billed,
+            os.stats().prefetched_pages.get(),
+            "vectored billing must equal physically initiated pages"
+        );
+        // The whole merged span [0, 64+gap) was read: gap pages included.
+        assert_eq!(billed, 64 + gap);
+    }
+
+    #[test]
+    fn claim_overlap_splits_and_never_double_claims() {
+        let mut ranges = vec![(0u64, 10u64), (20, 30)];
+        assert_eq!(claim_overlap(&mut ranges, 5, 25), 10);
+        assert_eq!(ranges, vec![(0, 5), (25, 30)]);
+        // A second claim over the same span finds nothing left.
+        assert_eq!(claim_overlap(&mut ranges, 5, 25), 0);
+        assert_eq!(claim_overlap(&mut ranges, 0, 30), 10);
+        assert!(ranges.is_empty());
+    }
+
+    #[test]
     fn batch_entries_for_distinct_files_do_not_merge() {
         let (os, fd_a, mut clock) = os_with_file(4 << 20);
         let fd_b = os.create_sized(&mut clock, "/g", 4 << 20).unwrap();
@@ -1023,6 +1360,126 @@ mod tests {
             .unwrap();
         assert_eq!(info.cached_pages, 0);
         assert_eq!(os.stats().prefetched_pages.get(), 0);
+    }
+
+    #[test]
+    fn read_batch_charges_one_crossing_for_demand_and_prefetch() {
+        let (os, fd, mut clock) = os_with_file(8 << 20);
+        let syscalls_before = os.stats().syscalls.get();
+        let demand = [ReadBatchEntry::new(fd, 0, 64 * 1024)];
+        let stride = (os.config().ra_max_pages + 64) * PAGE_SIZE;
+        let prefetch = [
+            RaBatchEntry::new(fd, stride, 32 * PAGE_SIZE).with_limit_pages(32),
+            RaBatchEntry::new(fd, 2 * stride, 32 * PAGE_SIZE).with_limit_pages(32),
+        ];
+        let (outcomes, completions) = os.read_batch(&mut clock, &demand, &prefetch).unwrap();
+        assert_eq!(os.stats().syscalls.get() - syscalls_before, 1);
+        assert_eq!(os.stats().read_batch_calls.get(), 1);
+        assert_eq!(os.stats().ra_batch_calls.get(), 0);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].pages, 16);
+        assert_eq!(outcomes[0].miss_pages, 16);
+        assert_eq!(completions.len(), 2);
+        assert!(completions.iter().all(|c| c.initiated_pages == 32));
+        // The demand read is an ordinary `read` body: its pages are
+        // resident afterwards, but `reads` (syscall crossings) stays 0.
+        assert_eq!(os.stats().reads.get(), 0);
+    }
+
+    #[test]
+    fn read_batch_unsupported_rejects_whole_submission() {
+        let mut config = OsConfig::with_memory_mb(64);
+        config.readahead_info_supported = false;
+        let os = Os::new(
+            config,
+            Device::new(DeviceConfig::local_nvme()),
+            FileSystem::new(FsKind::Ext4Like),
+        );
+        let mut clock = os.new_clock();
+        let fd = os.create_sized(&mut clock, "/f", 1 << 20).unwrap();
+        let err = os
+            .try_read_batch(&mut clock, &[ReadBatchEntry::new(fd, 0, 4096)], &[])
+            .unwrap_err();
+        assert_eq!(err, IoError::Unsupported);
+        assert_eq!(os.stats().ra_info_unsupported.get(), 1);
+        assert_eq!(os.device().stats().read_bytes.get(), 0);
+    }
+
+    #[test]
+    fn absorb_read_serves_cached_range_without_crossing() {
+        let (os, fd, mut clock) = os_with_file(4 << 20);
+        // Nothing cached yet: absorb refuses, mutating nothing.
+        assert!(os.absorb_read(&mut clock, fd, 0, 64 * 1024).is_none());
+        assert_eq!(os.stats().hit_pages.get(), 0);
+
+        os.readahead_info(
+            &mut clock,
+            fd,
+            RaInfoRequest::prefetch(0, 1 << 20).with_limit_pages(256),
+        );
+        let syscalls_before = os.stats().syscalls.get();
+        let outcome = os
+            .absorb_read(&mut clock, fd, 0, 64 * 1024)
+            .expect("fully cached range absorbs");
+        assert_eq!(os.stats().syscalls.get(), syscalls_before);
+        assert_eq!(outcome.pages, 16);
+        assert_eq!(outcome.hit_pages, 16);
+        assert_eq!(outcome.miss_pages, 0);
+        assert_eq!(outcome.prefetch_hit_pages, 16);
+        assert_eq!(os.stats().absorbed_reads.get(), 1);
+        assert_eq!(os.stats().hit_pages.get(), 16);
+        // Re-absorbing the same range is a plain cache hit now.
+        let again = os.absorb_read(&mut clock, fd, 0, 64 * 1024).unwrap();
+        assert_eq!(again.prefetch_hit_pages, 0);
+        assert_eq!(again.hit_pages, 16);
+    }
+
+    #[test]
+    fn absorb_read_matches_read_charge_accounting() {
+        // Same prefetched range, consumed via absorb vs via read_charge:
+        // page-level accounting (hits, prefetch-hit classification) must
+        // be identical — only the crossing counters differ.
+        let run = |absorb: bool| {
+            let (os, fd, mut clock) = os_with_file(4 << 20);
+            os.readahead_info(
+                &mut clock,
+                fd,
+                RaInfoRequest::prefetch(0, 1 << 20).with_limit_pages(256),
+            );
+            let outcome = if absorb {
+                os.absorb_read(&mut clock, fd, 0, 256 * 1024).unwrap()
+            } else {
+                os.read_charge(&mut clock, fd, 0, 256 * 1024)
+            };
+            (
+                outcome,
+                os.stats().hit_pages.get(),
+                os.stats().miss_pages.get(),
+                os.prefetch_quality(),
+            )
+        };
+        let (a_out, a_hits, a_misses, a_q) = run(true);
+        let (r_out, r_hits, r_misses, r_q) = run(false);
+        assert_eq!(a_out, r_out);
+        assert_eq!((a_hits, a_misses), (r_hits, r_misses));
+        assert_eq!(a_q, r_q);
+    }
+
+    #[test]
+    fn mark_range_speculative_reenters_quality_ledger() {
+        let (os, fd, mut clock) = os_with_file(4 << 20);
+        // Silence the heuristic readahead so the only cached pages are the
+        // demand-filled ones under test.
+        os.fadvise(&mut clock, fd, crate::Advice::Random, 0, 0);
+        // Demand-fill pages [0, 16) — non-speculative.
+        os.read_charge(&mut clock, fd, 0, 16 * PAGE_SIZE);
+        let flagged = os.mark_range_speculative(&mut clock, fd, 0, 16);
+        assert_eq!(flagged, 16);
+        // Dropping them now books the full range as wasted.
+        os.drop_caches(&mut clock);
+        assert_eq!(os.prefetch_quality().wasted, 16);
+        // Re-flagging an empty or absent range is a no-op.
+        assert_eq!(os.mark_range_speculative(&mut clock, fd, 5, 5), 0);
     }
 
     #[test]

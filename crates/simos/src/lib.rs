@@ -57,7 +57,10 @@ pub mod trace;
 
 pub use cache::PrefetchQuality;
 pub use config::OsConfig;
-pub use crossos::{bitmap_has_page, RaBatchCompletion, RaBatchEntry, RaInfo, RaInfoRequest};
+pub use crossos::{
+    bitmap_has_page, RaBatchCompletion, RaBatchEntry, RaInfo, RaInfoRequest, ReadBatchEntry,
+    ReadBatchResult,
+};
 pub use error::IoError;
 pub use mmap::MmapOutcome;
 pub use os::{Advice, Fd, FdEntry, Os, ReadOutcome, PAGE_SIZE};

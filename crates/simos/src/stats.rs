@@ -31,6 +31,13 @@ pub struct OsStats {
     /// `readahead_batch` invocations (CROSS-OS vectored submissions); each
     /// carries many entries but charges one syscall crossing.
     pub ra_batch_calls: Counter,
+    /// `read_batch` invocations (CROSS-OS combined demand + prefetch ring
+    /// crossings); each carries demand reads plus staged prefetch entries
+    /// but charges one syscall crossing.
+    pub read_batch_calls: Counter,
+    /// Demand reads absorbed by the completion ring without any syscall
+    /// crossing (range fully cached and confirmed via the shared bitmap).
+    pub absorbed_reads: Counter,
     /// Demand reads that surfaced a transient device error to the caller.
     pub demand_read_errors: Counter,
     /// `fincore` invocations.

@@ -2,11 +2,12 @@
 //!
 //! Runs one fixed, fully deterministic single-threaded workload per
 //! Table-2 mechanism (plus the fincore baseline), exports telemetry JSON
-//! with span tracing left at its default (disabled), strips the additive
-//! `spans` section, and compares the result byte-for-byte against the
-//! checked-in pre-span baseline (`tests/data/telemetry_schema_baseline.json`).
-//! Any other byte difference means a knob that should be inert changed the
-//! schema-v1 surface.
+//! with span tracing and the completion-driven ring left at their defaults
+//! (disabled), strips the additive `spans` and `ring` sections, and
+//! compares the result byte-for-byte against the checked-in pre-span
+//! baseline (`tests/data/telemetry_schema_baseline.json`). Any other byte
+//! difference means a knob that should be inert changed the schema-v1
+//! surface.
 //!
 //! Usage:
 //!   cargo run --release --example schema_compat            # verify
@@ -100,7 +101,7 @@ fn main() {
     ];
     let current: Vec<String> = modes
         .iter()
-        .map(|&mode| strip_section(&run_mode(mode), "spans"))
+        .map(|&mode| strip_section(&strip_section(&run_mode(mode), "spans"), "ring"))
         .collect();
     let rendered = current.join("\n") + "\n";
 

@@ -1,7 +1,7 @@
 //! Batched prefetch submission: off-path byte-identity, flush policy,
 //! partial-batch failure, and crossing-count savings.
 
-use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport};
+use crossprefetch::{FlushReason, Mode, Runtime, RuntimeConfig, RuntimeReport, TraceEventKind};
 use simos::{Device, DeviceConfig, FaultPlan, FileSystem, FsKind, Os, OsConfig};
 
 fn os(memory_mb: u64) -> std::sync::Arc<Os> {
@@ -133,6 +133,78 @@ fn short_deadline_flushes_on_deadline() {
     );
 }
 
+/// The PR 4 polled-deadline starvation regression: a stream that stops
+/// issuing reads while a part-full batch is open must still see that
+/// batch flush at `opened_ns + deadline_ns` — the reactor timer firing at
+/// the batch's own due time — not sit staged until some much later event
+/// happens to poll the queue.
+#[test]
+fn idle_stream_flushes_at_the_deadline() {
+    let deadline = 10_000_000u64; // 10 ms: longer than the whole ramp
+    let mut config = RuntimeConfig::new(Mode::Predict);
+    config.batch_submit = true;
+    config.batch_max_runs = 1_000_000; // never flush by size
+    config.batch_deadline_ns = deadline;
+    let runtime = Runtime::new(os(48), config);
+    runtime.trace().set_enabled(true);
+    let mut clock = runtime.new_clock();
+    let file = runtime
+        .create_sized(&mut clock, "/data/idle.bin", 32 << 20)
+        .unwrap();
+    // Sequential ramp: the predictor plans prefetch and stages runs. The
+    // deadline outlives the ramp, so the batch is still open (part-full)
+    // when the stream goes idle.
+    for i in 0..64u64 {
+        file.read_charge(&mut clock, i * 16_384, 16_384);
+    }
+    let stalled_ns = clock.now();
+    assert!(
+        stalled_ns < deadline,
+        "ramp must finish inside the deadline window for this regression"
+    );
+    assert_eq!(
+        runtime.stats().batches_flushed.get(),
+        0,
+        "the batch must still be open when the stream stalls"
+    );
+
+    // The stream is idle. Much later, the next pump of the reactor finds
+    // the batch long overdue — and must fire it at its *own* due time.
+    clock.advance(50 * deadline);
+    runtime.flush_prefetch_batches(&mut clock);
+
+    let stats = runtime.stats();
+    assert!(
+        stats.batch_flush_deadline.get() > 0,
+        "idle batch must flush by deadline"
+    );
+    assert_eq!(
+        stats.batch_flush_explicit.get(),
+        0,
+        "the overdue batch belongs to the timer, not the explicit drain"
+    );
+    let deadline_flush_ts: Vec<u64> = runtime
+        .trace()
+        .snapshot()
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceEventKind::BatchFlushed {
+                reason: FlushReason::Deadline,
+                ..
+            } => Some(e.ts_ns),
+            _ => None,
+        })
+        .collect();
+    assert!(!deadline_flush_ts.is_empty(), "flush must be traced");
+    for ts in deadline_flush_ts {
+        assert!(
+            ts <= stalled_ns + deadline,
+            "deadline flush stamped at {ts} ns, after its due time \
+             (stalled at {stalled_ns} ns, deadline {deadline} ns)"
+        );
+    }
+}
+
 /// Device faults on the prefetch class fail individual completions, not
 /// the whole batch: the runtime's per-run retry ladder still engages and
 /// eventually gives up, and the run itself keeps going.
@@ -204,13 +276,20 @@ fn batching_halves_crossings_at_parity() {
     };
     let (unbatched_pages, unbatched_calls, unbatched_hits) = run(false);
     let (batched_pages, batched_calls, batched_hits) = run(true);
+    // Deadline batches flush at their own due time (the reactor timer), so
+    // batch boundaries shift against the demand stream by a flush or two
+    // over the run: allow 1% page drift instead of exact parity.
     assert!(
-        batched_pages >= unbatched_pages,
+        batched_pages * 100 >= unbatched_pages * 99,
         "batching lost pages: {batched_pages} < {unbatched_pages}"
     );
+    // A late push no longer rides inside an already-expired batch (that
+    // batch flushed at its deadline; the push opens a fresh one), which
+    // costs a couple of extra crossings over the run — hence the small
+    // slack on the 2x criterion.
     assert!(
-        batched_calls * 2 <= unbatched_calls,
-        "expected >=2x fewer submission crossings: {batched_calls} vs {unbatched_calls}"
+        batched_calls * 2 <= unbatched_calls + 8,
+        "expected ~2x fewer submission crossings: {batched_calls} vs {unbatched_calls}"
     );
     assert!(
         batched_hits >= unbatched_hits - 0.01,
