@@ -54,6 +54,7 @@ mod config;
 pub mod metrics;
 pub mod policy;
 pub mod predictor;
+pub mod range_index;
 pub mod range_tree;
 mod read_path;
 pub mod ring;
@@ -72,6 +73,7 @@ pub use predict::{
     EngineKind, PredictionEngine, PrefetchDecision, PrefetchRun, QualityFeedback,
 };
 pub use predictor::{AccessPattern, Direction, Prediction, Predictor, SEQ_BATCH_PAGES};
+pub use range_index::{BPlusRangeIndex, FileRangeIndex, IndexStats, RangeIndex, RangeIndexKind};
 pub use range_tree::{LockScope, RangeTree};
 pub use ring::{FlushReason, SpecRead, SubmissionQueue};
 pub use runtime::{CpFile, LibFile, Runtime};

@@ -15,13 +15,20 @@
 //!   resource, reproducing the single-bitmap-lock bottleneck of Figure 6.
 //!
 //! Node ranges are fixed at [`NODE_PAGES`] (4 MiB) rather than dynamically
-//! split/merged as in the paper; this preserves the property that matters
-//! (per-range locking) with a simpler structure.
+//! split/merged as in the paper. This is the *legacy* index, kept
+//! selectable via `RuntimeConfig::range_index` for A/B runs and the
+//! determinism gate; the default is the B+ tree in
+//! [`range_index`](crate::range_index), which implements the paper's
+//! dynamic split/merge and optimistic lock coupling while charging
+//! virtual time in the same per-[`NODE_PAGES`]-region quanta as this tree.
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use simclock::{CostModel, Histogram, RwContention, ThreadClock};
+
+use crate::range_index::bitmap::PageBitmap;
 
 /// Pages per tree node: 1024 pages = 4 MiB.
 pub const NODE_PAGES: u64 = 1024;
@@ -35,67 +42,17 @@ pub enum LockScope {
     WholeFile,
 }
 
-#[derive(Debug, Default)]
-struct NodeState {
-    /// One bit per page within the node.
-    bitmap: Vec<u64>,
-    /// Pages set.
-    resident: u64,
-}
-
-impl NodeState {
-    fn ensure(&mut self) {
-        if self.bitmap.is_empty() {
-            self.bitmap = vec![0u64; (NODE_PAGES / 64) as usize];
-        }
-    }
-
-    fn set_range(&mut self, start: u64, end: u64) -> u64 {
-        self.ensure();
-        let mut newly = 0;
-        for page in start..end {
-            let (w, b) = ((page / 64) as usize, page % 64);
-            if self.bitmap[w] & (1 << b) == 0 {
-                self.bitmap[w] |= 1 << b;
-                newly += 1;
-            }
-        }
-        self.resident += newly;
-        newly
-    }
-
-    /// Whether every page in `[start, end)` is already marked.
-    fn contains_all(&self, start: u64, end: u64) -> bool {
-        if self.bitmap.is_empty() {
-            return end <= start;
-        }
-        (start..end).all(|page| self.is_set(page))
-    }
-
-    fn clear_all(&mut self) -> u64 {
-        for word in &mut self.bitmap {
-            *word = 0;
-        }
-        std::mem::take(&mut self.resident)
-    }
-
-    fn is_set(&self, page: u64) -> bool {
-        let (w, b) = ((page / 64) as usize, page % 64);
-        self.bitmap.get(w).is_some_and(|word| word & (1 << b) != 0)
-    }
-}
-
-/// One range node: real state plus its contention model.
+/// One range node: word-at-a-time presence bits plus its contention model.
 #[derive(Debug)]
 struct Node {
-    state: RwLock<NodeState>,
+    state: RwLock<PageBitmap>,
     lock_model: RwContention,
 }
 
 impl Node {
     fn new() -> Self {
         Self {
-            state: RwLock::new(NodeState::default()),
+            state: RwLock::new(PageBitmap::new()),
             lock_model: RwContention::new("range-node"),
         }
     }
@@ -122,7 +79,10 @@ impl Node {
 /// ```
 #[derive(Debug)]
 pub struct RangeTree {
-    nodes: RwLock<Vec<std::sync::Arc<Node>>>,
+    /// Sparse map of stride index → node: only touched strides allocate,
+    /// so a mark at a huge offset is O(1) rather than materializing every
+    /// intermediate node.
+    nodes: RwLock<BTreeMap<u64, std::sync::Arc<Node>>>,
     whole_file_lock: RwContention,
     wait_hist: OnceLock<Arc<Histogram>>,
 }
@@ -131,7 +91,7 @@ impl RangeTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
         Self {
-            nodes: RwLock::new(Vec::new()),
+            nodes: RwLock::new(BTreeMap::new()),
             whole_file_lock: RwContention::new("lib-file-bitmap"),
             wait_hist: OnceLock::new(),
         }
@@ -144,18 +104,24 @@ impl RangeTree {
         let _ = self.wait_hist.set(hist);
     }
 
-    fn node(&self, index: usize) -> std::sync::Arc<Node> {
+    fn node(&self, index: u64) -> std::sync::Arc<Node> {
         {
             let nodes = self.nodes.read();
-            if let Some(node) = nodes.get(index) {
+            if let Some(node) = nodes.get(&index) {
                 return std::sync::Arc::clone(node);
             }
         }
         let mut nodes = self.nodes.write();
-        while nodes.len() <= index {
-            nodes.push(std::sync::Arc::new(Node::new()));
-        }
-        std::sync::Arc::clone(&nodes[index])
+        std::sync::Arc::clone(
+            nodes
+                .entry(index)
+                .or_insert_with(|| std::sync::Arc::new(Node::new())),
+        )
+    }
+
+    /// Stride nodes allocated so far (the sparse-file regression guard).
+    pub fn node_count(&self) -> u64 {
+        self.nodes.read().len() as u64
     }
 
     fn charge(
@@ -206,9 +172,8 @@ impl RangeTree {
         let mut newly = 0;
         let mut page = start;
         while page < end {
-            let idx = (page / NODE_PAGES) as usize;
-            let node_end = ((idx as u64) + 1) * NODE_PAGES;
-            let upto = end.min(node_end);
+            let idx = page / NODE_PAGES;
+            let upto = end.min((idx + 1) * NODE_PAGES);
             let node = self.node(idx);
             let (local_start, local_end) = (page % NODE_PAGES, (upto - 1) % NODE_PAGES + 1);
             let already = node.state.read().contains_all(local_start, local_end);
@@ -231,27 +196,24 @@ impl RangeTree {
         end: u64,
     ) -> Vec<(u64, u64)> {
         let mut missing = Vec::new();
-        let mut run_start: Option<u64> = None;
+        let mut open: Option<u64> = None;
         let mut page = start;
         while page < end {
-            let idx = (page / NODE_PAGES) as usize;
-            let node_end = ((idx as u64) + 1) * NODE_PAGES;
-            let upto = end.min(node_end);
+            let idx = page / NODE_PAGES;
+            let upto = end.min((idx + 1) * NODE_PAGES);
             let node = self.node(idx);
             self.charge(clock, costs, scope, &node, false, upto - page);
-            let state = node.state.read();
-            for p in page..upto {
-                if state.is_set(p % NODE_PAGES) {
-                    if let Some(s) = run_start.take() {
-                        missing.push((s, p));
-                    }
-                } else if run_start.is_none() {
-                    run_start = Some(p);
-                }
-            }
+            let base = idx * NODE_PAGES;
+            node.state.read().collect_missing(
+                page - base,
+                upto - base,
+                base,
+                &mut open,
+                &mut missing,
+            );
             page = upto;
         }
-        if let Some(s) = run_start {
+        if let Some(s) = open {
             missing.push((s, end));
         }
         missing
@@ -282,10 +244,10 @@ impl RangeTree {
     /// scanning: a cheap shared peek skips the exclusive-lock charge for
     /// them, so clearing a sparse view is not billed as a full-file scan.
     pub fn clear(&self, clock: &mut ThreadClock, costs: &CostModel, scope: LockScope) -> u64 {
-        let nodes = self.nodes.read().clone();
+        let nodes: Vec<_> = self.nodes.read().values().cloned().collect();
         let mut cleared = 0;
         for node in &nodes {
-            if node.state.read().bitmap.is_empty() {
+            if !node.state.read().is_allocated() {
                 continue;
             }
             self.charge(clock, costs, scope, node, true, NODE_PAGES);
@@ -298,8 +260,8 @@ impl RangeTree {
     pub fn resident(&self) -> u64 {
         self.nodes
             .read()
-            .iter()
-            .map(|n| n.state.read().resident)
+            .values()
+            .map(|n| n.state.read().resident())
             .sum()
     }
 
@@ -308,7 +270,7 @@ impl RangeTree {
         let node_wait: u64 = self
             .nodes
             .read()
-            .iter()
+            .values()
             .map(|n| n.lock_model.total_wait_ns())
             .sum();
         node_wait + self.whole_file_lock.total_wait_ns()
@@ -445,6 +407,24 @@ mod tests {
         })
         .unwrap();
         assert_eq!(tree.resident(), 8 * 512);
+    }
+
+    #[test]
+    fn sparse_mark_at_huge_offset_allocates_one_node() {
+        // Regression: the old Vec-backed arena padded every intermediate
+        // stride up to the touched index, so one mark 128 GiB in
+        // materialized ~33M nodes. The sparse map allocates exactly the
+        // strides touched.
+        let tree = RangeTree::new();
+        let mut c = clock();
+        let huge = 1u64 << 35;
+        tree.mark_cached(&mut c, &costs(), LockScope::PerNode, huge, huge + 3);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.resident(), 3);
+        assert_eq!(
+            tree.missing_in(&mut c, &costs(), LockScope::PerNode, huge, huge + 4),
+            vec![(huge + 3, huge + 4)]
+        );
     }
 
     #[test]

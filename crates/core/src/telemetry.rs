@@ -151,6 +151,21 @@ pub struct RuntimeReport {
     /// serves plain `batch_submit` mode (overdue batches flush at their
     /// own due time), so this can be nonzero with the ring disabled.
     pub ring_timer_fires: u64,
+    /// Which range-index implementation backs the per-file cache views
+    /// ([`crate::RangeIndexKind::name`], policy-resolved).
+    pub range_index_kind: &'static str,
+    /// Deepest per-file tree (1 = a lone leaf root; the flat tree reports
+    /// 1 whenever any node exists).
+    pub range_index_depth: u64,
+    /// Leaves (flat: fixed-stride nodes) allocated across files.
+    pub range_index_leaves: u64,
+    /// Leaf splits performed (0 for the flat tree).
+    pub range_index_splits: u64,
+    /// Adjacent-leaf merges performed (0 for the flat tree).
+    pub range_index_merges: u64,
+    /// Optimistic read descents that failed version validation and paid
+    /// the re-descent penalty (0 single-threaded and for the flat tree).
+    pub range_index_retries: u64,
     /// Per-stage virtual-time cost of the staged read pipeline, in
     /// [`PipelineStage::all`] order as `(stage name, distribution)`.
     pub stage_latency: Vec<(&'static str, HistogramSnapshot)>,
@@ -181,6 +196,7 @@ impl RuntimeReport {
         let os = runtime.os();
         let stats = runtime.stats();
         let metrics = runtime.metrics();
+        let index_stats = runtime.range_index_stats();
         Self {
             mode: runtime.config().mode.label(),
             reads: stats.reads.get(),
@@ -243,6 +259,12 @@ impl RuntimeReport {
             ring_spec_cancelled: stats.ring_spec_cancelled.get(),
             ring_spec_pages_charged: stats.ring_spec_pages_charged.get(),
             ring_timer_fires: stats.ring_timer_fires.get(),
+            range_index_kind: runtime.range_index_kind(),
+            range_index_depth: index_stats.depth,
+            range_index_leaves: index_stats.leaves,
+            range_index_splits: index_stats.splits,
+            range_index_merges: index_stats.merges,
+            range_index_retries: index_stats.optimistic_retries,
             stage_latency: PipelineStage::all()
                 .iter()
                 .map(|&stage| (stage.name(), metrics.stage_hist(stage).snapshot()))
@@ -409,6 +431,18 @@ impl RuntimeReport {
             ring_timer_fires: self
                 .ring_timer_fires
                 .saturating_sub(earlier.ring_timer_fires),
+            range_index_kind: self.range_index_kind,
+            range_index_depth: self.range_index_depth,
+            range_index_leaves: self.range_index_leaves,
+            range_index_splits: self
+                .range_index_splits
+                .saturating_sub(earlier.range_index_splits),
+            range_index_merges: self
+                .range_index_merges
+                .saturating_sub(earlier.range_index_merges),
+            range_index_retries: self
+                .range_index_retries
+                .saturating_sub(earlier.range_index_retries),
             stage_latency: self
                 .stage_latency
                 .iter()
@@ -610,6 +644,22 @@ impl RuntimeReport {
         push_field(&mut out, "spec_pages_charged", self.ring_spec_pages_charged);
         out.push_str(&format!("\"timer_fires\":{}", self.ring_timer_fires));
         out.push_str("},");
+        // Range-index structure (additive; depth/leaves describe current
+        // shape, the rest are monotone event counters).
+        out.push_str("\"range_index\":{");
+        out.push_str(&format!(
+            "\"kind\":\"{}\",",
+            json_escape(self.range_index_kind)
+        ));
+        push_field(&mut out, "depth", self.range_index_depth);
+        push_field(&mut out, "leaves", self.range_index_leaves);
+        push_field(&mut out, "splits", self.range_index_splits);
+        push_field(&mut out, "merges", self.range_index_merges);
+        out.push_str(&format!(
+            "\"optimistic_retries\":{}",
+            self.range_index_retries
+        ));
+        out.push_str("},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
         // determinism checks across shard counts compare the prefix.
@@ -778,6 +828,16 @@ impl fmt::Display for RuntimeReport {
             self.os_fd_registry.shards(),
             self.os_fd_registry.total_contended(),
             self.os_fd_registry.total_wait_ns() / 1_000
+        )?;
+        writeln!(
+            f,
+            "range-index: {} (depth {}, {} leaves, {} splits, {} merges, {} optimistic retries)",
+            self.range_index_kind,
+            self.range_index_depth,
+            self.range_index_leaves,
+            self.range_index_splits,
+            self.range_index_merges,
+            self.range_index_retries
         )?;
         if self.prefetch_runs_coalesced > 0 {
             writeln!(

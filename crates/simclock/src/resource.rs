@@ -207,6 +207,25 @@ impl RwContention {
     pub fn total_wait_ns(&self) -> u64 {
         self.read_stats.wait_ns() + self.writer.stats().wait_ns()
     }
+
+    /// When a writer in service at `now` drains, or `now` if none is.
+    ///
+    /// Pure peek: nothing is recorded. Optimistic lock coupling uses this
+    /// to decide whether a version-validated read descent would have
+    /// conflicted with a writer and must charge a retry penalty.
+    pub fn write_busy_until(&self, now: u64) -> u64 {
+        self.writer.clear_time(now)
+    }
+
+    /// Records a shared acquisition whose wait the caller determined.
+    ///
+    /// Optimistic readers pay a bounded retry penalty instead of the
+    /// blocking wait [`RwContention::read`] would charge; the penalty
+    /// still lands in the read-side statistics so aggregate lock-wait
+    /// accounting covers both locking disciplines.
+    pub fn record_read(&self, wait_ns: u64, hold_ns: u64) {
+        self.read_stats.record(wait_ns, hold_ns);
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +337,26 @@ mod tests {
         // A reader far in the future is unaffected.
         let late = lock.read(10_000, 5);
         assert_eq!(late.wait_ns, 0);
+    }
+
+    #[test]
+    fn write_busy_until_peeks_without_recording() {
+        let lock = RwContention::new("tree");
+        lock.write(0, 200);
+        assert_eq!(lock.write_busy_until(50), 200);
+        assert_eq!(lock.write_busy_until(200), 200);
+        assert_eq!(lock.write_busy_until(201), 201);
+        // The peek left no trace in the read-side statistics.
+        assert_eq!(lock.read_stats().acquisitions(), 0);
+    }
+
+    #[test]
+    fn record_read_lands_in_read_stats() {
+        let lock = RwContention::new("tree");
+        lock.record_read(35, 10);
+        assert_eq!(lock.read_stats().wait_ns(), 35);
+        assert_eq!(lock.read_stats().acquisitions(), 1);
+        assert_eq!(lock.total_wait_ns(), 35);
     }
 
     #[test]

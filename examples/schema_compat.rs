@@ -3,11 +3,12 @@
 //! Runs one fixed, fully deterministic single-threaded workload per
 //! Table-2 mechanism (plus the fincore baseline), exports telemetry JSON
 //! with span tracing and the completion-driven ring left at their defaults
-//! (disabled), strips the additive `spans` and `ring` sections, and
-//! compares the result byte-for-byte against the checked-in pre-span
-//! baseline (`tests/data/telemetry_schema_baseline.json`). Any other byte
-//! difference means a knob that should be inert changed the schema-v1
-//! surface.
+//! (disabled), strips the additive `spans`, `ring`, and `range_index`
+//! sections, and compares the result byte-for-byte against the checked-in
+//! pre-span baseline (`tests/data/telemetry_schema_baseline.json`). Any
+//! other byte difference means a knob that should be inert changed the
+//! schema-v1 surface — including swapping the flat range tree for the B+
+//! index, which must leave every pre-existing field byte-identical.
 //!
 //! Usage:
 //!   cargo run --release --example schema_compat            # verify
@@ -101,7 +102,12 @@ fn main() {
     ];
     let current: Vec<String> = modes
         .iter()
-        .map(|&mode| strip_section(&strip_section(&run_mode(mode), "spans"), "ring"))
+        .map(|&mode| {
+            let json = run_mode(mode);
+            let json = strip_section(&json, "spans");
+            let json = strip_section(&json, "ring");
+            strip_section(&json, "range_index")
+        })
         .collect();
     let rendered = current.join("\n") + "\n";
 

@@ -1,6 +1,6 @@
 //! Property-based tests over the core data structures and invariants.
 
-use crossprefetch::{Direction, LockScope, Mode, Predictor, RangeTree, Runtime};
+use crossprefetch::{BPlusRangeIndex, Direction, LockScope, Mode, Predictor, RangeTree, Runtime};
 use proptest::prelude::*;
 use simclock::{CostModel, FcfsResource, GlobalClock, ThreadClock};
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
@@ -114,6 +114,76 @@ proptest! {
                 prop_assert!(!reference.contains(&p), "page {p} wrongly missing");
             }
         }
+    }
+
+    // ---- B+ range index -------------------------------------------------------
+
+    #[test]
+    fn bplus_matches_reference_set(ops in prop::collection::vec((0u64..4096, 1u64..128, prop::bool::ANY), 1..60)) {
+        let tree = BPlusRangeIndex::new();
+        let costs = CostModel::default();
+        let mut clk = clock();
+        let mut reference: HashSet<u64> = HashSet::new();
+        for (start, len, is_clear) in ops {
+            if is_clear {
+                tree.clear(&mut clk, &costs, LockScope::PerNode);
+                reference.clear();
+            } else {
+                tree.mark_cached(&mut clk, &costs, LockScope::PerNode, start, start + len);
+                reference.extend(start..start + len);
+            }
+            // Split/merge structural invariants must hold after every op,
+            // not just at quiescence.
+            tree.check_invariants();
+        }
+        prop_assert_eq!(tree.resident(), reference.len() as u64);
+        let missing = tree.missing_in(&mut clk, &costs, LockScope::PerNode, 0, 5000);
+        let missing_pages: u64 = missing.iter().map(|&(s, e)| e - s).sum();
+        let reference_in_range = reference.iter().filter(|&&p| p < 5000).count() as u64;
+        prop_assert_eq!(missing_pages, 5000 - reference_in_range);
+        for (s, e) in missing {
+            for p in s..e {
+                prop_assert!(!reference.contains(&p), "page {p} wrongly missing");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_and_bplus_agree_and_tick_identically(ops in prop::collection::vec((0u64..6000, 1u64..600, 0u8..4, prop::bool::ANY), 1..50)) {
+        // The charging-parity contract as a property: any single-threaded
+        // op mix leaves both indexes with the same answers AND the same
+        // virtual clock, under either lock scope.
+        let flat = RangeTree::new();
+        let bplus = BPlusRangeIndex::new();
+        let costs = CostModel::default();
+        let mut cf = clock();
+        let mut cb = clock();
+        for (start, len, op, whole_file) in ops {
+            let scope = if whole_file { LockScope::WholeFile } else { LockScope::PerNode };
+            let (a, b) = (start, start + len);
+            match op {
+                0 | 1 => {
+                    let nf = flat.mark_cached(&mut cf, &costs, scope, a, b);
+                    let nb = bplus.mark_cached(&mut cb, &costs, scope, a, b);
+                    prop_assert_eq!(nf, nb);
+                }
+                2 => {
+                    let mf = flat.missing_in(&mut cf, &costs, scope, a, b);
+                    let mb = bplus.missing_in(&mut cb, &costs, scope, a, b);
+                    prop_assert_eq!(mf, mb);
+                }
+                _ => {
+                    let df = flat.clear(&mut cf, &costs, scope);
+                    let db = bplus.clear(&mut cb, &costs, scope);
+                    prop_assert_eq!(df, db);
+                }
+            }
+            prop_assert_eq!(cf.now(), cb.now(), "virtual clocks diverged");
+        }
+        prop_assert_eq!(flat.resident(), bplus.resident());
+        prop_assert_eq!(flat.lock_wait_ns(), 0);
+        prop_assert_eq!(bplus.lock_wait_ns(), 0);
+        bplus.check_invariants();
     }
 
     // ---- OS cache accounting ---------------------------------------------------
