@@ -224,6 +224,15 @@ pub struct RuntimeConfig {
     /// stays off until [`crate::span::SpanCollector::set_enabled`] flips
     /// it on, and while off the read path pays one relaxed atomic load.
     pub span_exemplars: usize,
+    /// Multi-tenant prefetch arbitration ([`crate::tenant`]): a tenant
+    /// table with QoS classes, per-tenant fair-share prefetch windows
+    /// rebalanced from the timely/late/wasted quality ledgers, and an
+    /// admission ladder (full → coalesced-only → blind → deny) that
+    /// degrades speculative prefetch under memory pressure before demand
+    /// reads ever pay. Default `None`: no arbiter is built, files carry
+    /// no tenant, every new code path is bypassed, and telemetry is
+    /// byte-identical to the tenant-less runtime.
+    pub tenants: Option<crate::tenant::TenantsConfig>,
 }
 
 impl RuntimeConfig {
@@ -264,6 +273,7 @@ impl RuntimeConfig {
             ring_spec_confidence: 0.9,
             range_index: RangeIndexKind::BPlus,
             span_exemplars: 8,
+            tenants: None,
         }
     }
 

@@ -62,6 +62,7 @@ mod runtime;
 pub mod span;
 mod stats;
 pub mod telemetry;
+pub mod tenant;
 pub mod trace;
 pub mod worker;
 
@@ -83,6 +84,9 @@ pub use span::{
 };
 pub use stats::LibStats;
 pub use telemetry::{RuntimeReport, TELEMETRY_SCHEMA_VERSION};
+pub use tenant::{
+    AdmissionRung, QosClass, TenantArbiter, TenantId, TenantReport, TenantSpec, TenantsConfig,
+};
 pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
 
 // One coherent import surface for workloads and benches.

@@ -79,6 +79,11 @@ pub struct Policy {
     /// resolve to the (stateless-by-disuse) strided default regardless of
     /// the config knob.
     pub engine: EngineKind,
+    /// Multi-tenant admission control: `true` when a tenant table is
+    /// configured and a [`crate::tenant::TenantArbiter`] will be built.
+    /// Unlike batching and the ring this needs no visibility — the
+    /// degraded rungs of the ladder are exactly the blind paths.
+    pub tenants: bool,
 }
 
 impl Policy {
@@ -122,6 +127,7 @@ impl Policy {
             } else {
                 EngineKind::Strided
             },
+            tenants: config.tenants.is_some(),
         }
     }
 }
@@ -230,6 +236,26 @@ mod tests {
         let mut blind = RuntimeConfig::new(Mode::OsOnly);
         blind.ring_submit = true;
         assert!(!Policy::for_config(&blind).ring);
+    }
+
+    #[test]
+    fn tenants_off_by_default_everywhere() {
+        use crate::tenant::{QosClass, TenantSpec, TenantsConfig};
+        // Off by default for every mechanism: no arbiter, no new paths.
+        for mode in Mode::table2() {
+            assert!(!Policy::for_config(&RuntimeConfig::new(mode)).tenants);
+        }
+        assert!(!Policy::for_config(&RuntimeConfig::new(Mode::FincoreApp)).tenants);
+        // A configured tenant table flips it on — for any mode, since the
+        // degraded rungs are exactly the blind (no-visibility) paths.
+        for mode in [Mode::PredictOpt, Mode::OsOnly] {
+            let mut config = RuntimeConfig::new(mode);
+            config.tenants = Some(TenantsConfig::new(vec![TenantSpec::new(
+                "a",
+                QosClass::Gold,
+            )]));
+            assert!(Policy::for_config(&config).tenants);
+        }
     }
 
     #[test]

@@ -548,9 +548,15 @@ impl CpFile {
             .store(clock.now(), Ordering::Relaxed);
 
         // Ring speculation: pre-issue the predicted next demand read now
-        // that this access's accounting is settled.
+        // that this access's accounting is settled. The tenant arbiter
+        // gets first refusal — speculation is the cheapest thing to shed
+        // under pressure, so any rung below `Full` drops it here.
         if let Some((start, end)) = ctx.spec_target.take() {
-            if !inner.degraded.load(Ordering::Relaxed) {
+            if !inner.degraded.load(Ordering::Relaxed)
+                && self
+                    .runtime
+                    .spec_admitted(&self.file, end - start, clock.now())
+            {
                 self.maybe_issue_spec(clock, start, end);
             }
         }

@@ -1,7 +1,7 @@
 //! The CROSS-LIB runtime: interception shim, prefetch orchestration,
 //! memory-budget policies.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -21,6 +21,7 @@ use crate::range_tree::LockScope;
 use crate::ring::{Flush, FlushReason, SpecRead, SubmissionQueue};
 use crate::span::{CrossLayerSink, SpanCollector, SpanKind};
 use crate::stats::LibStats;
+use crate::tenant::{AdmissionRung, TenantArbiter, TenantId, UNBOUND_TENANT};
 use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
 use crate::worker::WorkerPool;
 
@@ -64,6 +65,11 @@ pub struct LibFile {
     pub(crate) reads_since_refetch: AtomicU64,
     /// Circular cursor for FetchAll refetch rounds.
     pub(crate) refetch_cursor: AtomicU64,
+    /// Owning tenant index ([`crate::tenant::UNBOUND_TENANT`] when the
+    /// file was opened without one or no arbiter is configured). Set by
+    /// the first tenant-carrying open; admission and initiated-page
+    /// attribution read it on every prefetch.
+    pub(crate) tenant: AtomicU32,
 }
 
 /// Reads between per-file quality-feedback samples: engines that learn
@@ -160,6 +166,10 @@ pub(crate) struct RuntimeInner {
     /// CROSS-LIB on a stock kernel keeps working, it just loses the
     /// cache-visibility syscall savings.
     pub(crate) degraded: AtomicBool,
+    /// Multi-tenant fair-share admission arbiter
+    /// ([`crate::RuntimeConfig::tenants`]); `None` (the default) bypasses
+    /// every tenant path.
+    pub(crate) tenants: Option<TenantArbiter>,
 }
 
 impl Runtime {
@@ -183,6 +193,7 @@ impl Runtime {
             trace: Arc::clone(&trace),
             spans: Arc::clone(&spans),
         }) as Arc<dyn simos::OsTraceSink>);
+        let tenants = config.tenants.clone().map(TenantArbiter::new);
         Self {
             inner: Arc::new(RuntimeInner {
                 os,
@@ -199,6 +210,7 @@ impl Runtime {
                 metrics: RuntimeMetrics::default(),
                 spans,
                 degraded: AtomicBool::new(false),
+                tenants,
             }),
         }
     }
@@ -292,6 +304,7 @@ impl Runtime {
                 fetchall_scheduled: std::sync::atomic::AtomicBool::new(false),
                 reads_since_refetch: AtomicU64::new(0),
                 refetch_cursor: AtomicU64::new(0),
+                tenant: AtomicU32::new(UNBOUND_TENANT),
             })
         })
     }
@@ -305,7 +318,25 @@ impl Runtime {
     /// Propagates [`FsError::NotFound`].
     pub fn open(&self, clock: &mut ThreadClock, path: &str) -> Result<CpFile, FsError> {
         let fd = self.inner.os.open(clock, path)?;
-        Ok(self.wrap_fd(clock, fd))
+        Ok(self.wrap_fd(clock, fd, None))
+    }
+
+    /// Opens an existing file on behalf of `tenant`: the file joins the
+    /// tenant's registry and its prefetch is arbitrated under the
+    /// tenant's fair share. Without a configured arbiter (or for a tenant
+    /// outside the table) this is exactly [`Runtime::open`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::NotFound`].
+    pub fn open_for_tenant(
+        &self,
+        clock: &mut ThreadClock,
+        path: &str,
+        tenant: TenantId,
+    ) -> Result<CpFile, FsError> {
+        let fd = self.inner.os.open(clock, path)?;
+        Ok(self.wrap_fd(clock, fd, Some(tenant)))
     }
 
     /// Creates an empty file through the shim.
@@ -315,7 +346,7 @@ impl Runtime {
     /// Propagates [`FsError::AlreadyExists`].
     pub fn create(&self, clock: &mut ThreadClock, path: &str) -> Result<CpFile, FsError> {
         let fd = self.inner.os.create(clock, path)?;
-        Ok(self.wrap_fd(clock, fd))
+        Ok(self.wrap_fd(clock, fd, None))
     }
 
     /// Creates a file with preallocated size through the shim.
@@ -330,13 +361,39 @@ impl Runtime {
         bytes: u64,
     ) -> Result<CpFile, FsError> {
         let fd = self.inner.os.create_sized(clock, path, bytes)?;
-        Ok(self.wrap_fd(clock, fd))
+        Ok(self.wrap_fd(clock, fd, None))
     }
 
-    fn wrap_fd(&self, clock: &mut ThreadClock, fd: Fd) -> CpFile {
+    /// [`Runtime::create_sized`] on behalf of `tenant` (see
+    /// [`Runtime::open_for_tenant`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsError::AlreadyExists`].
+    pub fn create_sized_for_tenant(
+        &self,
+        clock: &mut ThreadClock,
+        path: &str,
+        bytes: u64,
+        tenant: TenantId,
+    ) -> Result<CpFile, FsError> {
+        let fd = self.inner.os.create_sized(clock, path, bytes)?;
+        Ok(self.wrap_fd(clock, fd, Some(tenant)))
+    }
+
+    fn wrap_fd(&self, clock: &mut ThreadClock, fd: Fd, tenant: Option<TenantId>) -> CpFile {
         let ino = self.inner.os.fd_inode(fd);
         let file = self.lib_file(ino, fd);
         let policy = &self.inner.policy;
+
+        // Tenant binding happens before any open-time prefetch so the
+        // optimistic window and fetchall streams are attributed and
+        // arbitrated from the first page.
+        if let (Some(arbiter), Some(tenant)) = (&self.inner.tenants, tenant) {
+            if arbiter.bind(tenant, ino) {
+                file.tenant.store(tenant.0, Ordering::Relaxed);
+            }
+        }
 
         if policy.silence_heuristic_ra {
             // CROSS-LIB owns prefetching: silence the OS heuristic so the
@@ -381,6 +438,44 @@ impl Runtime {
     }
 
     // ----- prefetch orchestration --------------------------------------------
+
+    /// Credits pages the OS initiated for a prefetch on `file`: the
+    /// global counter always, plus the owning tenant's ledger when an
+    /// arbiter is configured — keeping the per-tenant
+    /// `timely + late + wasted == initiated` invariant intact across
+    /// every initiation path (worker, batch completion, cancelled
+    /// speculation).
+    pub(crate) fn note_pages_initiated(&self, file: &LibFile, pages: u64) {
+        self.inner.stats.pages_initiated.add(pages);
+        if pages == 0 {
+            return;
+        }
+        if let Some(arbiter) = &self.inner.tenants {
+            let tenant = file.tenant.load(Ordering::Relaxed);
+            if tenant != UNBOUND_TENANT {
+                arbiter.note_initiated(tenant, pages);
+            }
+        }
+    }
+
+    /// Whether the tenant arbiter leaves room for a speculative ring
+    /// pre-issue on `file`: speculation is the first thing pressure
+    /// takes, so only a tenant still on the `Full` rung may pre-issue.
+    pub(crate) fn spec_admitted(&self, file: &LibFile, want: u64, now_ns: u64) -> bool {
+        match &self.inner.tenants {
+            Some(arbiter) => {
+                let tenant = file.tenant.load(Ordering::Relaxed);
+                tenant == UNBOUND_TENANT
+                    || arbiter.allows_speculation(&self.inner.os, tenant, want, now_ns)
+            }
+            None => true,
+        }
+    }
+
+    /// The multi-tenant admission arbiter, when configured.
+    pub fn tenants(&self) -> Option<&TenantArbiter> {
+        self.inner.tenants.as_ref()
+    }
 
     fn free_fraction(&self) -> f64 {
         let mem = self.inner.os.mem();
@@ -452,11 +547,34 @@ impl Runtime {
             end
         };
 
+        // Tenant admission: under memory pressure a tenant over its fair
+        // share degrades — coalesced-only, then a single blind window,
+        // then outright denial — before any demand read pays. Files with
+        // no tenant (and runtimes with no arbiter) skip this entirely.
+        let mut force_coalesce = false;
+        let mut force_blind = false;
+        let mut end = end;
+        if let Some(arbiter) = &inner.tenants {
+            let tenant = file.tenant.load(Ordering::Relaxed);
+            if tenant != UNBOUND_TENANT {
+                match arbiter.admit(&inner.os, tenant, end - from, clock.now()) {
+                    AdmissionRung::Full => {}
+                    AdmissionRung::CoalescedOnly => force_coalesce = true,
+                    AdmissionRung::Blind => {
+                        // One OS readahead window, issued blind below.
+                        force_blind = true;
+                        end = from + (end - from).min(inner.os.config().ra_max_pages.max(1));
+                    }
+                    AdmissionRung::Deny => return from,
+                }
+            }
+        }
+
         // User-level visibility check: skip entirely-cached requests. This
         // is the system-call reduction at the heart of §4.2.
-        let missing = if inner.policy.features.visibility {
+        let missing = if inner.policy.features.visibility && !force_blind {
             let runs = file.tree.missing_in(clock, costs, self.scope(), from, end);
-            if inner.config.coalesce_prefetch {
+            if inner.config.coalesce_prefetch || force_coalesce {
                 self.coalesce_runs(runs)
             } else {
                 runs
@@ -485,16 +603,17 @@ impl Runtime {
         // Batched path: stage limit-sized runs in the submission queue and
         // return; a full or expired slot flushes as one vectored crossing.
         // Degradation falls back to the per-run path below — blind
-        // `readahead(2)` has no vectored form.
-        if inner.policy.batch_submit && !inner.degraded.load(Ordering::Relaxed) {
+        // `readahead(2)` has no vectored form, whether the blindness came
+        // from the kernel latch or the tenant admission ladder.
+        if inner.policy.batch_submit && !inner.degraded.load(Ordering::Relaxed) && !force_blind {
             self.enqueue_batched(clock, file, &missing, inner.policy.features.relax_limits);
             return end;
         }
 
         let runtime = self.clone();
         let file = Arc::clone(file);
-        let relax = inner.policy.features.relax_limits;
-        let visibility = inner.policy.features.visibility;
+        let relax = inner.policy.features.relax_limits && !force_blind;
+        let visibility = inner.policy.features.visibility && !force_blind;
         let max_pages = inner.config.max_prefetch_pages;
         // Reserve worker occupancy proportional to the syscalls the job
         // will issue.
@@ -787,7 +906,7 @@ impl Runtime {
                 );
                 continue;
             }
-            inner.stats.pages_initiated.add(done.initiated_pages);
+            self.note_pages_initiated(&run.file, done.initiated_pages);
             run.file
                 .tree
                 .mark_cached(clock, costs, self.scope(), run.start, run.end);
@@ -909,7 +1028,7 @@ impl Runtime {
                             .os
                             .try_readahead_info(clock, file.prefetch_fd, req)
                             .map(|info| {
-                                inner.stats.pages_initiated.add(info.initiated_pages);
+                                self.note_pages_initiated(file, info.initiated_pages);
                                 // Import the OS's view: mark both
                                 // already-cached and newly initiated pages
                                 // in the user-level tree.
@@ -934,7 +1053,7 @@ impl Runtime {
                                 cursor * PAGE_SIZE,
                                 chunk * PAGE_SIZE,
                             )
-                            .map(|initiated| inner.stats.pages_initiated.add(initiated))
+                            .map(|initiated| self.note_pages_initiated(file, initiated))
                     };
                     match outcome {
                         Ok(()) => break,
@@ -1403,7 +1522,7 @@ impl CpFile {
         let flagged = inner.os.mark_range_speculative(clock, self.fd, p0, p1);
         inner.stats.ring_spec_cancelled.incr();
         inner.stats.ring_spec_pages_charged.add(flagged);
-        inner.stats.pages_initiated.add(flagged);
+        self.runtime.note_pages_initiated(&self.file, flagged);
         if tracing {
             inner.trace.emit(
                 clock.now(),

@@ -15,6 +15,7 @@ use simos::{PrefetchQuality, RegistryStats};
 
 use crate::metrics::{PipelineStage, ReadClass};
 use crate::span::SpanClassTotals;
+use crate::tenant::TenantReport;
 use crate::Runtime;
 
 /// Version stamped into every JSON export; bump on breaking layout change.
@@ -181,6 +182,15 @@ pub struct RuntimeReport {
     /// cache-hit / prefetch-hit / demand-miss order (all-zero while span
     /// tracing is off, so the section's presence never depends on it).
     pub spans_classes: Vec<(&'static str, SpanClassTotals)>,
+    /// Whether the multi-tenant arbiter was configured
+    /// ([`crate::RuntimeConfig::tenants`]).
+    pub tenants_enabled: bool,
+    /// Fair-share rebalance passes the arbiter ran.
+    pub tenant_rebalances: u64,
+    /// Per-tenant admission rows, in tenant-table order (empty without an
+    /// arbiter, so the additive section's presence never depends on the
+    /// knob).
+    pub tenants: Vec<TenantReport>,
     /// Real-lock contention on the CROSS-LIB per-file registry shards
     /// (wall-clock, contended acquisitions only; zero single-threaded).
     pub lib_registry: RegistryStats,
@@ -281,6 +291,9 @@ impl RuntimeReport {
             .iter()
             .map(|&class| (class.name(), runtime.spans().class_totals(class)))
             .collect(),
+            tenants_enabled: runtime.inner.policy.tenants,
+            tenant_rebalances: runtime.tenants().map_or(0, |a| a.rebalances()),
+            tenants: runtime.tenants().map_or_else(Vec::new, |a| a.reports()),
             lib_registry: runtime.file_registry_stats(),
             os_cache_registry: os.cache_registry_stats(),
             os_fd_registry: os.fd_registry_stats(),
@@ -483,6 +496,21 @@ impl RuntimeReport {
                     }
                 })
                 .collect(),
+            tenants_enabled: self.tenants_enabled,
+            tenant_rebalances: self
+                .tenant_rebalances
+                .saturating_sub(earlier.tenant_rebalances),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|row| {
+                    let prior = earlier.tenants.iter().find(|r| r.name == row.name);
+                    match prior {
+                        Some(r) => row.delta(r),
+                        None => row.clone(),
+                    }
+                })
+                .collect(),
             lib_registry: self.lib_registry.delta(&earlier.lib_registry),
             os_cache_registry: self.os_cache_registry.delta(&earlier.os_cache_registry),
             os_fd_registry: self.os_fd_registry.delta(&earlier.os_fd_registry),
@@ -660,6 +688,33 @@ impl RuntimeReport {
             self.range_index_retries
         ));
         out.push_str("},");
+        // Multi-tenant arbitration (additive; empty list without an
+        // arbiter, so stripping the section restores the pre-tenant byte
+        // layout exactly).
+        out.push_str("\"tenants\":{");
+        out.push_str(&format!("\"enabled\":{},", self.tenants_enabled));
+        push_field(&mut out, "rebalances", self.tenant_rebalances);
+        out.push_str("\"list\":[");
+        for (i, row) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"qos\":\"{}\",\"weight\":{},\"budget_pages\":{},\"window_used_pages\":{},\"initiated_pages\":{},\"admitted_pages\":{},\"degraded_coalesced\":{},\"degraded_blind\":{},\"denied\":{},\"denied_pages\":{}}}",
+                json_escape(&row.name),
+                row.qos,
+                row.weight,
+                row.budget_pages,
+                row.window_used_pages,
+                row.initiated_pages,
+                row.admitted_pages,
+                row.degraded_coalesced,
+                row.degraded_blind,
+                row.denied,
+                row.denied_pages
+            ));
+        }
+        out.push_str("]},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
         // determinism checks across shard counts compare the prefix.
@@ -888,6 +943,29 @@ impl fmt::Display for RuntimeReport {
                 self.engine_duels,
                 self.engine_ownership_flips
             )?;
+        }
+        if self.tenants_enabled {
+            writeln!(
+                f,
+                "tenants    : {} configured, {} rebalances",
+                self.tenants.len(),
+                self.tenant_rebalances
+            )?;
+            for row in &self.tenants {
+                writeln!(
+                    f,
+                    "  {:<12} [{:<6}] share={:<8} initiated={:<8} admitted={:<8} degraded={}+{} denied={} ({} pages)",
+                    row.name,
+                    row.qos,
+                    row.budget_pages,
+                    row.initiated_pages,
+                    row.admitted_pages,
+                    row.degraded_coalesced,
+                    row.degraded_blind,
+                    row.denied,
+                    row.denied_pages
+                )?;
+            }
         }
         if self.spans_reads_traced > 0 {
             writeln!(

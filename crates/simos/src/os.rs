@@ -1156,6 +1156,16 @@ impl Os {
         }
     }
 
+    /// Adjusts the memory budget at runtime (memory:data-ratio sweeps and
+    /// the tenant arbiter both shrink it). A shrink below the resident
+    /// set reclaims immediately — leaving the cache over budget until the
+    /// next insert would let a shrunk tenant keep squatting on pages.
+    pub fn set_memory_budget(&self, clock: &mut ThreadClock, pages: u64) {
+        if self.mem.set_budget(pages) {
+            self.reclaim(clock);
+        }
+    }
+
     /// Synchronous reclaim down to the watermark, charged to `clock`.
     pub fn reclaim(&self, clock: &mut ThreadClock) {
         let target = self.mem.reclaim_target(self.config.reclaim_slack);

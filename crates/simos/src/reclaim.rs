@@ -42,9 +42,13 @@ impl MemoryManager {
         self.budget_pages.load(Ordering::Relaxed)
     }
 
-    /// Adjusts the capacity (experiments vary the memory:data ratio).
-    pub fn set_budget(&self, pages: u64) {
+    /// Adjusts the capacity (experiments vary the memory:data ratio; the
+    /// tenant arbiter shrinks it routinely). Returns `true` when the new
+    /// budget sits below the resident set — the caller must run reclaim,
+    /// because no insert may come along to notice the overage.
+    pub fn set_budget(&self, pages: u64) -> bool {
         self.budget_pages.store(pages, Ordering::Relaxed);
+        self.resident() > pages
     }
 
     /// Live cached pages.
@@ -91,8 +95,30 @@ impl MemoryManager {
         if resident <= budget {
             return 0;
         }
-        let watermark = (budget as f64 * (1.0 - slack)) as u64;
-        resident - watermark
+        // Watermark in pure integer arithmetic: budget minus the ceiling
+        // of the slack share at ppm resolution. Routing the budget through
+        // f64 loses low bits above 2^53 pages and drifts the target; the
+        // ceiling matches the old float floor at every representable
+        // budget, so existing timelines are unchanged.
+        let slack_ppm = (slack.clamp(0.0, 1.0) * 1_000_000.0).round() as u128;
+        let share = (budget as u128 * slack_ppm).div_ceil(1_000_000) as u64;
+        resident - budget.saturating_sub(share)
+    }
+
+    /// Fractional pressure above a low watermark: `0.0` at or below `low`,
+    /// climbing linearly to `1.0` as resident reaches the budget and
+    /// saturating beyond it. The tenant arbiter scales its admission
+    /// ladder by this signal.
+    pub fn pressure_above(&self, low: u64) -> f64 {
+        let resident = self.resident();
+        if resident <= low {
+            return 0.0;
+        }
+        let budget = self.budget();
+        if budget <= low {
+            return 1.0;
+        }
+        (((resident - low) as f64) / ((budget - low) as f64)).min(1.0)
     }
 }
 
@@ -127,24 +153,29 @@ pub fn select_victims(caches: &[Arc<InodeCache>], target: u64) -> Vec<Victim> {
 /// are covered. Scans at most the few largest inodes instead of every
 /// word in the system.
 pub fn select_victims_per_inode(caches: &[Arc<InodeCache>], target: u64) -> Vec<Victim> {
-    let mut by_size: Vec<(u64, usize)> = caches
+    // Rank and word list come from ONE lock acquisition per inode: with
+    // two snapshots a concurrent clear between the ranking pass and the
+    // word fetch could rank a file by pages its word list no longer
+    // holds, selecting already-evicted words and over-crediting the
+    // caller's `evicted` counter.
+    type InodeSnapshot = (u64, usize, Vec<(usize, u64, u64)>);
+    let mut snapshots: Vec<InodeSnapshot> = caches
         .iter()
         .enumerate()
-        .map(|(idx, cache)| (cache.state.read().resident(), idx))
-        .filter(|&(resident, _)| resident > 0)
+        .filter_map(|(idx, cache)| {
+            let state = cache.state.read();
+            let resident = state.resident();
+            (resident > 0).then(|| (resident, idx, state.word_summaries()))
+        })
         .collect();
-    by_size.sort_unstable_by_key(|&(resident, _)| std::cmp::Reverse(resident));
+    snapshots.sort_unstable_by_key(|&(resident, _, _)| std::cmp::Reverse(resident));
 
     let mut victims = Vec::new();
     let mut freed = 0;
-    for &(_, idx) in &by_size {
+    for (_, idx, mut words) in snapshots {
         if freed >= target {
             break;
         }
-        let mut words = {
-            let state = caches[idx].state.read();
-            state.word_summaries()
-        };
         words.sort_unstable_by_key(|&(_, touch, _)| touch);
         for (widx, touch, pages) in words {
             if freed >= target {
@@ -200,11 +231,54 @@ mod tests {
     }
 
     #[test]
+    fn reclaim_target_exact_at_large_counts() {
+        // Above 2^53 pages an f64 cannot hold the budget exactly; the old
+        // float watermark rounded it away and drifted the target. Pin the
+        // exact integer answers.
+        let budget = 10_000_000_000_000_001u64; // 1e16 + 1, not representable
+        let mem = MemoryManager::new(budget);
+        mem.note_inserted(budget + 7);
+        assert_eq!(mem.reclaim_target(0.0), 7);
+
+        let budget = 1u64 << 54;
+        let mem = MemoryManager::new(budget);
+        mem.note_inserted(budget + 5);
+        // share = budget/4 exactly; no float round-off at any magnitude.
+        assert_eq!(mem.reclaim_target(0.25), 5 + (budget / 4));
+
+        // Small budgets keep the historical (float-floor) watermarks.
+        let mem = MemoryManager::new(16384);
+        mem.note_inserted(16384 + 100);
+        assert_eq!(mem.reclaim_target(0.05), 100 + 820); // watermark 15564
+    }
+
+    #[test]
     fn set_budget_changes_free() {
         let mem = MemoryManager::new(100);
         mem.note_inserted(50);
-        mem.set_budget(200);
+        assert!(!mem.set_budget(200));
         assert_eq!(mem.free_pages(), 150);
+    }
+
+    #[test]
+    fn set_budget_shrink_reports_pressure() {
+        let mem = MemoryManager::new(100);
+        mem.note_inserted(80);
+        assert!(!mem.set_budget(90)); // still under: nothing to do
+        assert!(mem.set_budget(50)); // 80 resident > 50: reclaim now
+        assert_eq!(mem.reclaim_target(0.0), 30);
+    }
+
+    #[test]
+    fn pressure_above_low_watermark() {
+        let mem = MemoryManager::new(100);
+        assert_eq!(mem.pressure_above(50), 0.0);
+        mem.note_inserted(75);
+        assert_eq!(mem.pressure_above(50), 0.5);
+        mem.note_inserted(50); // resident 125, over budget
+        assert_eq!(mem.pressure_above(50), 1.0);
+        assert_eq!(mem.pressure_above(120), 1.0); // low >= budget saturates
+        assert_eq!(mem.pressure_above(200), 0.0); // resident below low: idle
     }
 
     #[test]
@@ -244,6 +318,28 @@ mod tests {
         assert!(victims.iter().all(|&(_, idx, _, _)| idx == 0));
         // And within the fat file, coldest words first.
         assert!(victims.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn evicting_a_just_cleared_word_is_an_accounting_noop() {
+        // A clear that lands between victim selection and eviction must
+        // not be double-counted: the selected word now removes zero pages,
+        // so the caller credits nothing to `evicted`.
+        let a = Arc::new(InodeCache::new(InodeId(0)));
+        a.state.write().insert_range(0, 128, 100, 0);
+        let caches = vec![Arc::clone(&a)];
+        let victims = select_victims_per_inode(&caches, 64);
+        assert!(!victims.is_empty());
+
+        a.state.write().remove_range(0, 128); // concurrent clear
+        let mut removed_total = 0;
+        for &(_, idx, widx, _) in &victims {
+            let (removed, _dirty) = caches[idx].state.write().evict_word(widx);
+            removed_total += removed;
+        }
+        assert_eq!(removed_total, 0);
+        // And a re-selection sees the cleared file not at all.
+        assert!(select_victims_per_inode(&caches, 64).is_empty());
     }
 
     #[test]

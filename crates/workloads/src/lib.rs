@@ -14,12 +14,16 @@
 //!   file-compression workload;
 //! * [`kvprobe`] — a zipfian index-then-data probe stream (the pattern
 //!   the correlation prediction engine mines and the strided counter
-//!   cannot), driving the engine-comparison bench.
+//!   cannot), driving the engine-comparison bench;
+//! * [`fleet`] — an open-loop multi-tenant arrival stream (seeded Poisson
+//!   arrivals over zipfian tenant popularity) driving the tenant-arbiter
+//!   comparison bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod filebench;
+pub mod fleet;
 pub mod kvprobe;
 pub mod micro;
 pub mod snappy;
@@ -27,6 +31,9 @@ pub mod ycsb;
 pub mod zipf;
 
 pub use filebench::{run_filebench, FilebenchConfig, FilebenchResult, Personality};
+pub use fleet::{
+    run_fleet, setup_fleet, FleetConfig, FleetResult, FleetTenantResult, FleetTenantSpec,
+};
 pub use kvprobe::{run_kvprobe, setup_kvprobe, KvProbeConfig, KvProbeResult};
 pub use micro::{run_micro, run_shared_rw, setup_micro, MicroConfig, MicroPattern, MicroResult};
 pub use snappy::{compress, decompress, run_snappy, SnappyConfig, SnappyError, SnappyResult};

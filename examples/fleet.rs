@@ -1,0 +1,71 @@
+//! fleet: deterministic multi-tenant arbitration smoke.
+//!
+//! Runs the open-loop fleet workload (seeded Poisson arrivals over
+//! zipfian tenant popularity) with the tenant arbiter enabled on a small
+//! cold cache — small enough that the admission ladder engages — and
+//! writes the full telemetry export to the given path. Same-seed
+//! invocations must produce byte-identical files; CI runs it twice and
+//! diffs.
+//!
+//! Usage: cargo run --release --example fleet -- <out.json> [seed]
+
+use std::sync::Arc;
+
+use crossprefetch::{Mode, QosClass, Runtime, RuntimeConfig, RuntimeReport, TenantsConfig};
+use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
+use workloads::{run_fleet, setup_fleet, FleetConfig, FleetTenantSpec};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out = args.next().unwrap_or_else(|| {
+        eprintln!("usage: fleet <out.json> [seed]");
+        std::process::exit(2);
+    });
+    let seed: u64 = args.next().map_or(42, |s| s.parse().expect("numeric seed"));
+
+    let cfg = FleetConfig {
+        tenants: vec![
+            FleetTenantSpec::new("batch-a", QosClass::Bronze, true),
+            FleetTenantSpec::new("batch-b", QosClass::Bronze, true),
+            FleetTenantSpec::new("standard", QosClass::Silver, false),
+            FleetTenantSpec::new("gold", QosClass::Gold, false),
+        ],
+        files_per_tenant: 1,
+        file_bytes: 16 << 20,
+        requests: 2048,
+        read_bytes: 16 * 1024,
+        seed,
+        ..FleetConfig::default()
+    };
+    let os = Os::new(
+        OsConfig::with_memory_mb(8),
+        Device::new(DeviceConfig::local_nvme()),
+        FileSystem::new(FsKind::Ext4Like),
+    );
+    let mut config = RuntimeConfig::new(Mode::PredictOpt);
+    config.tenants = Some(TenantsConfig::new(cfg.tenant_specs()));
+    let runtime = Runtime::new(Arc::clone(&os), config);
+    setup_fleet(&runtime, &cfg);
+    let mut clock = runtime.new_clock();
+    let result = run_fleet(&runtime, &mut clock, &cfg);
+
+    let json = RuntimeReport::collect(&runtime).to_json();
+    std::fs::write(&out, &json).expect("write telemetry");
+    let arbiter = runtime.tenants().expect("arbiter configured");
+    eprintln!(
+        "fleet: {} requests, {} rebalances, telemetry -> {out}",
+        result.requests,
+        arbiter.rebalances()
+    );
+    for row in arbiter.reports() {
+        eprintln!(
+            "  {:<10} budget {:>5}  initiated {:>6}  coalesced {:>4}  blind {:>4}  denied {:>4}",
+            row.name,
+            row.budget_pages,
+            row.initiated_pages,
+            row.degraded_coalesced,
+            row.degraded_blind,
+            row.denied
+        );
+    }
+}
