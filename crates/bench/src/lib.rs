@@ -16,7 +16,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport};
+use crossprefetch::{Mode, Runtime, RuntimeConfig, RuntimeReport, TieredStore};
 use simos::{Device, DeviceConfig, FileSystem, FsKind, Os, OsConfig};
 
 /// Boots a fresh OS with `memory_mb` of page cache on a local NVMe model
@@ -31,6 +31,22 @@ pub fn boot_with(memory_mb: u64, device: DeviceConfig, fs: FsKind) -> Arc<Os> {
         OsConfig::with_memory_mb(memory_mb),
         Device::new(device),
         FileSystem::new(fs),
+    )
+}
+
+/// Boots a fresh OS over a two-tier store: `memory_mb` of page cache in
+/// front of a local NVMe tier capped at `local_capacity_blocks`, with the
+/// paper's RDMA NVMe-oF remote model holding everything else (every block
+/// starts remote; promotion moves predicted-hot ranges local).
+pub fn boot_tiered(memory_mb: u64, local_capacity_blocks: u64) -> Arc<Os> {
+    Os::new_tiered(
+        OsConfig::with_memory_mb(memory_mb),
+        TieredStore::new(
+            Device::new(DeviceConfig::local_nvme()),
+            Device::new(DeviceConfig::remote_nvmeof()),
+            local_capacity_blocks,
+        ),
+        FileSystem::new(FsKind::Ext4Like),
     )
 }
 

@@ -233,6 +233,13 @@ pub struct RuntimeConfig {
     /// no tenant, every new code path is bypassed, and telemetry is
     /// byte-identical to the tenant-less runtime.
     pub tenants: Option<crate::tenant::TenantsConfig>,
+    /// Cross-tier promotion planning ([`crate::tiering`]): when the OS
+    /// runs on a [`simos::TieredStore`], high-confidence predictions are
+    /// additionally turned into background remote→local promotion copies
+    /// so the stream's demand reads land on the fast tier. Default
+    /// `None`: no planner is built, no promotion job is ever dispatched,
+    /// and telemetry is byte-identical to the tiering-less runtime.
+    pub tiering: Option<crate::tiering::TieringConfig>,
 }
 
 impl RuntimeConfig {
@@ -274,6 +281,7 @@ impl RuntimeConfig {
             range_index: RangeIndexKind::BPlus,
             span_exemplars: 8,
             tenants: None,
+            tiering: None,
         }
     }
 

@@ -63,6 +63,7 @@ pub mod span;
 mod stats;
 pub mod telemetry;
 pub mod tenant;
+pub mod tiering;
 pub mod trace;
 pub mod worker;
 
@@ -87,11 +88,12 @@ pub use telemetry::{RuntimeReport, TELEMETRY_SCHEMA_VERSION};
 pub use tenant::{
     AdmissionRung, QosClass, TenantArbiter, TenantId, TenantReport, TenantSpec, TenantsConfig,
 };
+pub use tiering::{TierPlanner, TieringConfig};
 pub use trace::{LookupOutcome, TraceEvent, TraceEventKind, TraceLog};
 
 // One coherent import surface for workloads and benches.
 pub use simos::{
     Advice, Device, DeviceConfig, DeviceError, FaultPlan, Fd, FileSystem, FsError, FsKind, InodeId,
     IoError, MmapOutcome, Os, OsConfig, RaBatchCompletion, RaBatchEntry, RaInfo, RaInfoRequest,
-    ReadOutcome, RegistryStats, PAGE_SIZE,
+    ReadOutcome, RegistryStats, Tier, TierStats, TieredStore, WritebackConfig, PAGE_SIZE,
 };

@@ -84,6 +84,13 @@ pub struct Policy {
     /// Unlike batching and the ring this needs no visibility — the
     /// degraded rungs of the ladder are exactly the blind paths.
     pub tenants: bool,
+    /// Cross-tier promotion planning: `true` when a tiering config is
+    /// present and a [`crate::tiering::TierPlanner`] *may* be built.
+    /// Promotion consumes engine confidence, so like the ring it only
+    /// does anything under a predicting mode — and it additionally
+    /// requires the OS to actually sit on a tiered store, which the
+    /// runtime checks at construction (policy is config-only).
+    pub tiering: bool,
 }
 
 impl Policy {
@@ -128,6 +135,7 @@ impl Policy {
                 EngineKind::Strided
             },
             tenants: config.tenants.is_some(),
+            tiering: config.tiering.is_some(),
         }
     }
 }

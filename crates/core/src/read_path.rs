@@ -73,6 +73,15 @@ pub(crate) trait FillMode {
         offset: u64,
         len: u64,
     ) -> Result<ReadOutcome, Self::Error>;
+
+    /// Charges a write; the read-modify-write head/tail demand reads use
+    /// the same fault surface as `fill`.
+    fn write_fill(
+        file: &CpFile,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, Self::Error>;
 }
 
 /// Fill through the non-faulting OS surface; cannot fail.
@@ -102,6 +111,19 @@ impl FillMode for NeverFails {
     ) -> Result<ReadOutcome, Self::Error> {
         Ok(file.ring_fill(clock, offset, len))
     }
+
+    fn write_fill(
+        file: &CpFile,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, Self::Error> {
+        Ok(file
+            .runtime
+            .inner
+            .os
+            .write_charge(clock, file.fd, offset, len))
+    }
 }
 
 /// Fill through the fallible OS surface; injected faults surface.
@@ -129,6 +151,18 @@ impl FillMode for MayFail {
         len: u64,
     ) -> Result<ReadOutcome, Self::Error> {
         file.try_ring_fill(clock, offset, len)
+    }
+
+    fn write_fill(
+        file: &CpFile,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, Self::Error> {
+        file.runtime
+            .inner
+            .os
+            .try_write_charge(clock, file.fd, offset, len)
     }
 }
 
@@ -224,6 +258,23 @@ impl CpFile {
         len: u64,
     ) -> Result<(ReadOutcome, u64), IoError> {
         self.run_pipeline::<MayFail>(clock, offset, len, false)
+    }
+
+    /// Fallible pipeline entry point for writes: the read-modify-write
+    /// head/tail demand reads go through the fallible OS surface. On a
+    /// surfaced fault nothing is dirtied; a retry redoes the whole write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the device fault plan injects an EIO
+    /// into the RMW demand reads.
+    pub(crate) fn pipeline_try_write(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<(ReadOutcome, u64), IoError> {
+        self.run_pipeline::<MayFail>(clock, offset, len, true)
     }
 
     /// The shared pipeline body. Exactly one of the two routes runs:
@@ -376,6 +427,13 @@ impl CpFile {
                 }
             }
         }
+        // Cross-tier promotion: a high-confidence forward stream's
+        // predicted window doubles as a placement hint — copy it
+        // remote→local in the background (planner-deduped, worker-pool
+        // issued) so the demand reads that follow land on the fast tier.
+        if inner.planner.is_some() && !ctx.is_write {
+            self.maybe_promote(clock, ctx);
+        }
         let decision = std::mem::take(&mut ctx.decision);
         if let Some(pred) = decision.prediction {
             self.paced_prefetch(clock, pred, ctx.p0, ctx.p1);
@@ -387,6 +445,42 @@ impl CpFile {
         // read. One relaxed load when nothing is due (or batching is off).
         self.runtime.flush_due_batches(clock);
         ctx.close_stage(self, PipelineStage::PrefetchPlan, clock.now());
+    }
+
+    /// Promotion candidate selection (tiering on only): the access plus
+    /// the engine's predicted window, handed to the planner for
+    /// confidence gating, frontier dedup, and clamping. Only forward
+    /// streams promote — the planner's frontier is monotone, matching
+    /// the placement map's word-granular advance.
+    fn maybe_promote(&self, clock: &mut ThreadClock, ctx: &ReadCtx) {
+        use crate::predictor::Direction;
+        let inner = &self.runtime.inner;
+        let Some(planner) = &inner.planner else {
+            return;
+        };
+        let Some(pred) = &ctx.decision.prediction else {
+            return;
+        };
+        if pred.prefetch_pages == 0 || !matches!(pred.direction, Direction::Forward) {
+            return;
+        }
+        let file_pages = inner.os.fs().size(self.file.ino).div_ceil(PAGE_SIZE);
+        let end = (ctx.p1 + pred.prefetch_pages).min(file_pages);
+        if end <= ctx.p0 {
+            return;
+        }
+        // The accessed pages themselves are the hottest evidence, so the
+        // candidate starts at the access, not past it; the frontier trims
+        // anything already requested.
+        if let Some((from, want)) = planner.plan(
+            self.file.ino.0,
+            ctx.p0,
+            end - ctx.p0,
+            ctx.decision.confidence,
+        ) {
+            self.runtime
+                .dispatch_promotion(clock, &self.file, from, want);
+        }
     }
 
     /// Stage 4 — cache-probe: how much of this range the user-level view
@@ -436,7 +530,17 @@ impl CpFile {
     ) -> Result<ReadOutcome, F::Error> {
         let inner = &self.runtime.inner;
         let outcome = if ctx.is_write {
-            let written = inner.os.write_charge(clock, self.fd, ctx.offset, ctx.len);
+            let written = match F::write_fill(self, clock, ctx.offset, ctx.len) {
+                Ok(written) => written,
+                Err(err) => {
+                    if inner.policy.intercept {
+                        self.file
+                            .last_access_ns
+                            .store(clock.now(), Ordering::Relaxed);
+                    }
+                    return Err(self.note_read_error(clock, err, ctx));
+                }
+            };
             ReadOutcome {
                 bytes: written,
                 ..ReadOutcome::default()

@@ -22,6 +22,7 @@ use crate::ring::{Flush, FlushReason, SpecRead, SubmissionQueue};
 use crate::span::{CrossLayerSink, SpanCollector, SpanKind};
 use crate::stats::LibStats;
 use crate::tenant::{AdmissionRung, TenantArbiter, TenantId, UNBOUND_TENANT};
+use crate::tiering::TierPlanner;
 use crate::trace::{LookupOutcome, TraceEventKind, TraceLog};
 use crate::worker::WorkerPool;
 
@@ -170,6 +171,11 @@ pub(crate) struct RuntimeInner {
     /// ([`crate::RuntimeConfig::tenants`]); `None` (the default) bypasses
     /// every tenant path.
     pub(crate) tenants: Option<TenantArbiter>,
+    /// Cross-tier promotion planner ([`crate::RuntimeConfig::tiering`]);
+    /// built only when the config asks for it *and* the OS actually sits
+    /// on a tiered store. `None` (the default) dispatches no promotion
+    /// job, ever.
+    pub(crate) planner: Option<TierPlanner>,
 }
 
 impl Runtime {
@@ -194,6 +200,13 @@ impl Runtime {
             spans: Arc::clone(&spans),
         }) as Arc<dyn simos::OsTraceSink>);
         let tenants = config.tenants.clone().map(TenantArbiter::new);
+        // Promotion needs somewhere to promote *to*: a tiering config on
+        // an un-tiered OS builds no planner (and no new code path runs).
+        let planner = config
+            .tiering
+            .clone()
+            .filter(|_| os.tiered().is_some())
+            .map(TierPlanner::new);
         Self {
             inner: Arc::new(RuntimeInner {
                 os,
@@ -211,6 +224,7 @@ impl Runtime {
                 spans,
                 degraded: AtomicBool::new(false),
                 tenants,
+                planner,
             }),
         }
     }
@@ -456,6 +470,81 @@ impl Runtime {
                 arbiter.note_initiated(tenant, pages);
             }
         }
+    }
+
+    /// Dispatches a cross-tier promotion job: a background remote→local
+    /// copy of a planner-approved predicted-hot range, issued on the
+    /// worker pool off the read's critical path. Transient remote faults
+    /// retry through the same doubling backoff ladder as prefetch; an
+    /// exhausted budget gives up with the placement map unchanged —
+    /// demand reads keep working against the remote tier. Pages a
+    /// completed copy publishes into the cache are billed as
+    /// prefetch-initiated, so `timely + late + wasted == pages_initiated`
+    /// carries over with promotions in play.
+    pub(crate) fn dispatch_promotion(
+        &self,
+        clock: &mut ThreadClock,
+        file: &Arc<LibFile>,
+        start: u64,
+        pages: u64,
+    ) {
+        let inner = &self.inner;
+        let Some(planner) = &inner.planner else {
+            return;
+        };
+        let attempts = planner.config().promote_retry_attempts.max(1);
+        let first_backoff = planner.config().promote_retry_backoff_ns.max(1);
+        inner.stats.promotions_issued.incr();
+        let runtime = self.clone();
+        let file = Arc::clone(file);
+        let est_ns = inner.os.config().costs.syscall_ns.max(1);
+        let dispatch = inner.workers.dispatch(clock.now(), est_ns, move |wclock| {
+            let inner = &runtime.inner;
+            let mut backoff = first_backoff;
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                match inner.os.try_promote_range(wclock, file.ino, start, pages) {
+                    Ok(newly) => {
+                        inner.stats.promotions_completed.incr();
+                        inner.stats.promotion_pages.add(newly);
+                        runtime.note_pages_initiated(&file, newly);
+                        break;
+                    }
+                    Err(_) if attempt >= attempts => {
+                        inner.stats.promotion_give_ups.incr();
+                        inner.trace.emit(
+                            wclock.now(),
+                            TraceEventKind::PrefetchAbandoned {
+                                ino: file.ino,
+                                start_page: start,
+                                pages,
+                            },
+                        );
+                        break;
+                    }
+                    Err(_) => {
+                        inner.stats.promotion_retries.incr();
+                        inner.trace.emit(
+                            wclock.now(),
+                            TraceEventKind::PrefetchRetry {
+                                ino: file.ino,
+                                start_page: start,
+                                pages,
+                                attempt,
+                            },
+                        );
+                        wclock.advance(backoff);
+                        crate::span::record_leaf(SpanKind::RetryBackoff, backoff, wclock.now());
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+            }
+        });
+        inner
+            .metrics
+            .worker_queue_ns
+            .record(dispatch.queue_wait_ns());
     }
 
     /// Whether the tenant arbiter leaves room for a speculative ring
@@ -1334,6 +1423,45 @@ impl CpFile {
             self.runtime.os().store_content(self.file.ino, offset, data);
         }
         written
+    }
+
+    /// Fallible write, timing only: the read-modify-write head/tail
+    /// demand reads consult the device fault plan. On an injected fault
+    /// nothing is inserted or dirtied — a retry redoes the whole write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the device fault plan injects an EIO
+    /// into the RMW head/tail demand reads.
+    pub fn try_write_charge(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, IoError> {
+        self.pipeline_try_write(clock, offset, len)
+            .map(|(outcome, _)| outcome.bytes)
+    }
+
+    /// Fallible write with content (see [`CpFile::try_write_charge`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the device fault plan injects an EIO
+    /// into the RMW head/tail demand reads.
+    pub fn try_write(
+        &self,
+        clock: &mut ThreadClock,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<u64, IoError> {
+        let written = self.try_write_charge(clock, offset, data.len() as u64)?;
+        if written > 0 {
+            self.runtime
+                .os()
+                .store_content(self.file.ino, offset, &data[..written as usize]);
+        }
+        Ok(written)
     }
 
     /// `fsync` passthrough.

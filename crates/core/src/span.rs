@@ -98,6 +98,7 @@ impl SpanKind {
         matches!(
             self,
             SpanKind::Os(OsSpanKind::DevicePrefetch)
+                | SpanKind::Os(OsSpanKind::TierPromote)
                 | SpanKind::WorkerQueueWait
                 | SpanKind::WorkerRun
                 | SpanKind::BatchFlush
@@ -146,12 +147,14 @@ impl CriticalPath {
             | SpanKind::LibTreeLockWait => self.lock_wait_ns += dur_ns,
             SpanKind::Os(OsSpanKind::ReadyWait)
             | SpanKind::Os(OsSpanKind::DeviceRead)
+            | SpanKind::Os(OsSpanKind::WritebackFlush)
             | SpanKind::RingComplete => self.device_service_ns += dur_ns,
             SpanKind::Os(OsSpanKind::ReclaimPass) => self.stage_compute_ns += dur_ns,
             SpanKind::RetryBackoff => self.retry_backoff_ns += dur_ns,
             SpanKind::WorkerQueueWait => self.queue_wait_ns += dur_ns,
             // Forced-async kinds never reach here; routed defensively.
             SpanKind::Os(OsSpanKind::DevicePrefetch)
+            | SpanKind::Os(OsSpanKind::TierPromote)
             | SpanKind::WorkerRun
             | SpanKind::BatchFlush
             | SpanKind::RingSubmit => self.stage_compute_ns += dur_ns,

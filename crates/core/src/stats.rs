@@ -96,6 +96,20 @@ pub struct LibStats {
     pub engine_duels: Counter,
     /// Adaptive-engine ownership changes (a duel crowned a new engine).
     pub engine_ownership_flips: Counter,
+    /// Cross-tier promotion jobs dispatched to the worker pool
+    /// ([`crate::tiering::TierPlanner`]-approved predicted-hot ranges).
+    pub promotions_issued: Counter,
+    /// Promotion jobs whose remote→local copy completed (possibly copying
+    /// zero new pages when demand reads beat the worker to the range).
+    pub promotions_completed: Counter,
+    /// Pages promotion jobs published into the cache (billed as
+    /// prefetch-initiated pages, so the quality ledger identity holds).
+    pub promotion_pages: Counter,
+    /// Promotion attempts retried after a transient remote-device error.
+    pub promotion_retries: Counter,
+    /// Promotion jobs abandoned after exhausting the retry budget
+    /// (placement is left unchanged; demand reads still work remotely).
+    pub promotion_give_ups: Counter,
 }
 
 impl LibStats {

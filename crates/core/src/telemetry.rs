@@ -191,6 +191,78 @@ pub struct RuntimeReport {
     /// arbiter, so the additive section's presence never depends on the
     /// knob).
     pub tenants: Vec<TenantReport>,
+    /// Whether the cross-tier promotion planner was built (a tiering
+    /// config was present *and* the OS sits on a tiered store).
+    pub tiering_enabled: bool,
+    /// Whether the OS-side write-back daemon was configured
+    /// ([`simos::OsConfig::writeback`]).
+    pub writeback_enabled: bool,
+    /// Local-tier read requests (all tier fields are zero un-tiered).
+    pub tier_local_reads: u64,
+    /// Local-tier write requests.
+    pub tier_local_writes: u64,
+    /// Local-tier bytes read.
+    pub tier_local_read_bytes: u64,
+    /// Local-tier bytes written.
+    pub tier_local_write_bytes: u64,
+    /// Remote-tier read requests.
+    pub tier_remote_reads: u64,
+    /// Remote-tier write requests.
+    pub tier_remote_writes: u64,
+    /// Remote-tier bytes read.
+    pub tier_remote_read_bytes: u64,
+    /// Remote-tier bytes written.
+    pub tier_remote_write_bytes: u64,
+    /// Local-tier blocks resident at snapshot time.
+    pub tier_local_resident_blocks: u64,
+    /// Local-tier capacity, in blocks.
+    pub tier_local_capacity_blocks: u64,
+    /// Promotion jobs the planner dispatched to the worker pool.
+    pub promotions_issued: u64,
+    /// Promotion jobs whose remote→local copy completed.
+    pub promotions_completed: u64,
+    /// Pages completed promotions published into the cache (billed as
+    /// prefetch-initiated).
+    pub promotion_pages: u64,
+    /// Promotion attempts retried after a transient remote fault.
+    pub promotion_retries: u64,
+    /// Promotion jobs abandoned after exhausting the retry budget.
+    pub promotion_give_ups: u64,
+    /// Blocks the store moved to the local tier by promotion.
+    pub tier_promoted_blocks: u64,
+    /// Promotion copies rejected by an injected remote fault (store-side).
+    pub tier_promotion_faults: u64,
+    /// Promoted blocks demoted or dropped without ever being read
+    /// locally — the placement analogue of wasted prefetch.
+    pub tier_promoted_wasted_blocks: u64,
+    /// Demotion passes (placement words returned to the remote tier).
+    pub tier_demotions: u64,
+    /// Blocks returned to the remote tier by demotion.
+    pub tier_demoted_blocks: u64,
+    /// Demoted blocks that were locally modified and were written back to
+    /// the remote device first.
+    pub tier_demoted_dirty_blocks: u64,
+    /// Pages the write path newly dirtied (ledger: `dirtied ==
+    /// written_back + dropped + dirty_now`).
+    pub wb_dirtied_pages: u64,
+    /// Dirty pages flushed to a device (any flush path).
+    pub wb_written_back_pages: u64,
+    /// Dirty pages discarded without write-back (`unlink`).
+    pub wb_dropped_dirty_pages: u64,
+    /// Pages dirty at snapshot time (point-in-time, not monotone).
+    pub wb_dirty_pages_now: u64,
+    /// Flushes forced by dirty thresholds.
+    pub wb_flush_threshold: u64,
+    /// Flushes forced by a virtual-time dirty deadline.
+    pub wb_flush_deadline: u64,
+    /// Synchronous flushes (`fsync`, write-through).
+    pub wb_flush_sync: u64,
+    /// Flushes riding eviction paths (advice, cache drops, reclaim).
+    pub wb_flush_drop: u64,
+    /// Device write crossings issued by run-based flushing.
+    pub wb_runs_flushed: u64,
+    /// Adjacent dirty runs merged into one crossing by gap coalescing.
+    pub wb_runs_coalesced: u64,
     /// Real-lock contention on the CROSS-LIB per-file registry shards
     /// (wall-clock, contended acquisitions only; zero single-threaded).
     pub lib_registry: RegistryStats,
@@ -207,6 +279,10 @@ impl RuntimeReport {
         let stats = runtime.stats();
         let metrics = runtime.metrics();
         let index_stats = runtime.range_index_stats();
+        let tiered = os.tiered();
+        let tier_local = tiered.map(|t| t.local().stats());
+        let tier_remote = tiered.map(|t| t.remote().stats());
+        let tier_stats = tiered.map(|t| t.stats());
         Self {
             mode: runtime.config().mode.label(),
             reads: stats.reads.get(),
@@ -294,6 +370,39 @@ impl RuntimeReport {
             tenants_enabled: runtime.inner.policy.tenants,
             tenant_rebalances: runtime.tenants().map_or(0, |a| a.rebalances()),
             tenants: runtime.tenants().map_or_else(Vec::new, |a| a.reports()),
+            tiering_enabled: runtime.inner.planner.is_some(),
+            writeback_enabled: os.config().writeback.is_some(),
+            tier_local_reads: tier_local.map_or(0, |s| s.read_requests.get()),
+            tier_local_writes: tier_local.map_or(0, |s| s.write_requests.get()),
+            tier_local_read_bytes: tier_local.map_or(0, |s| s.read_bytes.get()),
+            tier_local_write_bytes: tier_local.map_or(0, |s| s.write_bytes.get()),
+            tier_remote_reads: tier_remote.map_or(0, |s| s.read_requests.get()),
+            tier_remote_writes: tier_remote.map_or(0, |s| s.write_requests.get()),
+            tier_remote_read_bytes: tier_remote.map_or(0, |s| s.read_bytes.get()),
+            tier_remote_write_bytes: tier_remote.map_or(0, |s| s.write_bytes.get()),
+            tier_local_resident_blocks: tiered.map_or(0, |t| t.local_resident_blocks()),
+            tier_local_capacity_blocks: tiered.map_or(0, |t| t.local_capacity_blocks()),
+            promotions_issued: stats.promotions_issued.get(),
+            promotions_completed: stats.promotions_completed.get(),
+            promotion_pages: stats.promotion_pages.get(),
+            promotion_retries: stats.promotion_retries.get(),
+            promotion_give_ups: stats.promotion_give_ups.get(),
+            tier_promoted_blocks: tier_stats.map_or(0, |s| s.promoted_blocks.get()),
+            tier_promotion_faults: tier_stats.map_or(0, |s| s.promotion_faults.get()),
+            tier_promoted_wasted_blocks: tier_stats.map_or(0, |s| s.promoted_wasted_blocks.get()),
+            tier_demotions: tier_stats.map_or(0, |s| s.demotions.get()),
+            tier_demoted_blocks: tier_stats.map_or(0, |s| s.demoted_blocks.get()),
+            tier_demoted_dirty_blocks: tier_stats.map_or(0, |s| s.demoted_dirty_blocks.get()),
+            wb_dirtied_pages: os.stats().dirtied_pages.get(),
+            wb_written_back_pages: os.stats().written_back_pages.get(),
+            wb_dropped_dirty_pages: os.stats().dropped_dirty_pages.get(),
+            wb_dirty_pages_now: os.mem().dirty(),
+            wb_flush_threshold: os.stats().wb_flush_threshold.get(),
+            wb_flush_deadline: os.stats().wb_flush_deadline.get(),
+            wb_flush_sync: os.stats().wb_flush_sync.get(),
+            wb_flush_drop: os.stats().wb_flush_drop.get(),
+            wb_runs_flushed: os.stats().wb_runs_flushed.get(),
+            wb_runs_coalesced: os.stats().wb_runs_coalesced.get(),
             lib_registry: runtime.file_registry_stats(),
             os_cache_registry: os.cache_registry_stats(),
             os_fd_registry: os.fd_registry_stats(),
@@ -511,6 +620,85 @@ impl RuntimeReport {
                     }
                 })
                 .collect(),
+            tiering_enabled: self.tiering_enabled,
+            writeback_enabled: self.writeback_enabled,
+            tier_local_reads: self
+                .tier_local_reads
+                .saturating_sub(earlier.tier_local_reads),
+            tier_local_writes: self
+                .tier_local_writes
+                .saturating_sub(earlier.tier_local_writes),
+            tier_local_read_bytes: self
+                .tier_local_read_bytes
+                .saturating_sub(earlier.tier_local_read_bytes),
+            tier_local_write_bytes: self
+                .tier_local_write_bytes
+                .saturating_sub(earlier.tier_local_write_bytes),
+            tier_remote_reads: self
+                .tier_remote_reads
+                .saturating_sub(earlier.tier_remote_reads),
+            tier_remote_writes: self
+                .tier_remote_writes
+                .saturating_sub(earlier.tier_remote_writes),
+            tier_remote_read_bytes: self
+                .tier_remote_read_bytes
+                .saturating_sub(earlier.tier_remote_read_bytes),
+            tier_remote_write_bytes: self
+                .tier_remote_write_bytes
+                .saturating_sub(earlier.tier_remote_write_bytes),
+            tier_local_resident_blocks: self.tier_local_resident_blocks,
+            tier_local_capacity_blocks: self.tier_local_capacity_blocks,
+            promotions_issued: self
+                .promotions_issued
+                .saturating_sub(earlier.promotions_issued),
+            promotions_completed: self
+                .promotions_completed
+                .saturating_sub(earlier.promotions_completed),
+            promotion_pages: self.promotion_pages.saturating_sub(earlier.promotion_pages),
+            promotion_retries: self
+                .promotion_retries
+                .saturating_sub(earlier.promotion_retries),
+            promotion_give_ups: self
+                .promotion_give_ups
+                .saturating_sub(earlier.promotion_give_ups),
+            tier_promoted_blocks: self
+                .tier_promoted_blocks
+                .saturating_sub(earlier.tier_promoted_blocks),
+            tier_promotion_faults: self
+                .tier_promotion_faults
+                .saturating_sub(earlier.tier_promotion_faults),
+            tier_promoted_wasted_blocks: self
+                .tier_promoted_wasted_blocks
+                .saturating_sub(earlier.tier_promoted_wasted_blocks),
+            tier_demotions: self.tier_demotions.saturating_sub(earlier.tier_demotions),
+            tier_demoted_blocks: self
+                .tier_demoted_blocks
+                .saturating_sub(earlier.tier_demoted_blocks),
+            tier_demoted_dirty_blocks: self
+                .tier_demoted_dirty_blocks
+                .saturating_sub(earlier.tier_demoted_dirty_blocks),
+            wb_dirtied_pages: self
+                .wb_dirtied_pages
+                .saturating_sub(earlier.wb_dirtied_pages),
+            wb_written_back_pages: self
+                .wb_written_back_pages
+                .saturating_sub(earlier.wb_written_back_pages),
+            wb_dropped_dirty_pages: self
+                .wb_dropped_dirty_pages
+                .saturating_sub(earlier.wb_dropped_dirty_pages),
+            wb_dirty_pages_now: self.wb_dirty_pages_now,
+            wb_flush_threshold: self
+                .wb_flush_threshold
+                .saturating_sub(earlier.wb_flush_threshold),
+            wb_flush_deadline: self
+                .wb_flush_deadline
+                .saturating_sub(earlier.wb_flush_deadline),
+            wb_flush_sync: self.wb_flush_sync.saturating_sub(earlier.wb_flush_sync),
+            wb_flush_drop: self.wb_flush_drop.saturating_sub(earlier.wb_flush_drop),
+            wb_runs_flushed: self.wb_runs_flushed.saturating_sub(earlier.wb_runs_flushed),
+            wb_runs_coalesced: self
+                .wb_runs_coalesced
+                .saturating_sub(earlier.wb_runs_coalesced),
             lib_registry: self.lib_registry.delta(&earlier.lib_registry),
             os_cache_registry: self.os_cache_registry.delta(&earlier.os_cache_registry),
             os_fd_registry: self.os_fd_registry.delta(&earlier.os_fd_registry),
@@ -715,6 +903,66 @@ impl RuntimeReport {
             ));
         }
         out.push_str("]},");
+        // Cross-tier placement & write-back (all-zero/false when tiering
+        // and the write-back daemon are off, so the additive section's
+        // presence never depends on the knobs; `schema_compat` strips it
+        // for pre-tiering comparisons).
+        out.push_str("\"tiering\":{");
+        out.push_str(&format!("\"enabled\":{},", self.tiering_enabled));
+        out.push_str(&format!(
+            "\"writeback_enabled\":{},",
+            self.writeback_enabled
+        ));
+        out.push_str("\"local\":{");
+        push_field(&mut out, "reads", self.tier_local_reads);
+        push_field(&mut out, "writes", self.tier_local_writes);
+        push_field(&mut out, "read_bytes", self.tier_local_read_bytes);
+        push_field(&mut out, "write_bytes", self.tier_local_write_bytes);
+        push_field(&mut out, "resident_blocks", self.tier_local_resident_blocks);
+        out.push_str(&format!(
+            "\"capacity_blocks\":{}",
+            self.tier_local_capacity_blocks
+        ));
+        out.push_str("},");
+        out.push_str("\"remote\":{");
+        push_field(&mut out, "reads", self.tier_remote_reads);
+        push_field(&mut out, "writes", self.tier_remote_writes);
+        push_field(&mut out, "read_bytes", self.tier_remote_read_bytes);
+        out.push_str(&format!("\"write_bytes\":{}", self.tier_remote_write_bytes));
+        out.push_str("},");
+        out.push_str("\"promotions\":{");
+        push_field(&mut out, "issued", self.promotions_issued);
+        push_field(&mut out, "completed", self.promotions_completed);
+        push_field(&mut out, "pages", self.promotion_pages);
+        push_field(&mut out, "retries", self.promotion_retries);
+        push_field(&mut out, "give_ups", self.promotion_give_ups);
+        push_field(&mut out, "blocks", self.tier_promoted_blocks);
+        push_field(&mut out, "faults", self.tier_promotion_faults);
+        out.push_str(&format!(
+            "\"wasted_blocks\":{}",
+            self.tier_promoted_wasted_blocks
+        ));
+        out.push_str("},");
+        out.push_str("\"demotions\":{");
+        push_field(&mut out, "passes", self.tier_demotions);
+        push_field(&mut out, "blocks", self.tier_demoted_blocks);
+        out.push_str(&format!(
+            "\"dirty_blocks\":{}",
+            self.tier_demoted_dirty_blocks
+        ));
+        out.push_str("},");
+        out.push_str("\"writeback\":{");
+        push_field(&mut out, "dirtied_pages", self.wb_dirtied_pages);
+        push_field(&mut out, "written_back_pages", self.wb_written_back_pages);
+        push_field(&mut out, "dropped_dirty_pages", self.wb_dropped_dirty_pages);
+        push_field(&mut out, "dirty_pages", self.wb_dirty_pages_now);
+        push_field(&mut out, "flush_threshold", self.wb_flush_threshold);
+        push_field(&mut out, "flush_deadline", self.wb_flush_deadline);
+        push_field(&mut out, "flush_sync", self.wb_flush_sync);
+        push_field(&mut out, "flush_drop", self.wb_flush_drop);
+        push_field(&mut out, "runs_flushed", self.wb_runs_flushed);
+        out.push_str(&format!("\"runs_coalesced\":{}", self.wb_runs_coalesced));
+        out.push_str("}},");
         // Keep "registries" the last section: shard count is deployment
         // configuration (it never affects the simulated timeline), so
         // determinism checks across shard counts compare the prefix.
@@ -966,6 +1214,35 @@ impl fmt::Display for RuntimeReport {
                     row.denied_pages
                 )?;
             }
+        }
+        if self.tiering_enabled || self.wb_dirtied_pages > 0 {
+            writeln!(
+                f,
+                "tiering    : local {}/{} blocks, promotions {} issued / {} completed ({} pages, {} retries, {} give-ups), demotions {} ({} blocks)",
+                self.tier_local_resident_blocks,
+                self.tier_local_capacity_blocks,
+                self.promotions_issued,
+                self.promotions_completed,
+                self.promotion_pages,
+                self.promotion_retries,
+                self.promotion_give_ups,
+                self.tier_demotions,
+                self.tier_demoted_blocks
+            )?;
+            writeln!(
+                f,
+                "write-back : {} dirtied, {} written back, {} dropped, {} dirty now; flushes {} threshold / {} deadline / {} sync / {} drop ({} runs, {} coalesced)",
+                self.wb_dirtied_pages,
+                self.wb_written_back_pages,
+                self.wb_dropped_dirty_pages,
+                self.wb_dirty_pages_now,
+                self.wb_flush_threshold,
+                self.wb_flush_deadline,
+                self.wb_flush_sync,
+                self.wb_flush_drop,
+                self.wb_runs_flushed,
+                self.wb_runs_coalesced
+            )?;
         }
         if self.spans_reads_traced > 0 {
             writeln!(

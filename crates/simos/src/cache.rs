@@ -70,6 +70,9 @@ pub struct CacheState {
     resident: u64,
     /// Total dirty pages.
     dirty_pages: u64,
+    /// Virtual time the oldest still-dirty page was dirtied (0 = clean) —
+    /// the write-back daemon's deadline anchor.
+    dirty_since_ns: u64,
     /// Prefetch-quality tallies for this file.
     quality: PrefetchQuality,
 }
@@ -291,8 +294,9 @@ impl CacheState {
         }
     }
 
-    /// Marks pages dirty (they must be present). Returns newly dirty count.
-    pub fn mark_dirty(&mut self, start: u64, end: u64) -> u64 {
+    /// Marks pages dirty (they must be present) at virtual time `now`.
+    /// Returns newly dirty count.
+    pub fn mark_dirty(&mut self, start: u64, end: u64, now: u64) -> u64 {
         self.ensure_pages(end);
         let mut newly = 0;
         for page in start..end {
@@ -303,6 +307,9 @@ impl CacheState {
                 newly += 1;
             }
         }
+        if newly > 0 && self.dirty_pages == 0 {
+            self.dirty_since_ns = now.max(1);
+        }
         self.dirty_pages += newly;
         newly
     }
@@ -312,7 +319,59 @@ impl CacheState {
         for word in &mut self.dirty {
             *word = 0;
         }
+        self.dirty_since_ns = 0;
         std::mem::take(&mut self.dirty_pages)
+    }
+
+    /// Clears dirty bits in `[start, end)`, returning how many were dirty.
+    pub fn clear_dirty_range(&mut self, start: u64, end: u64) -> u64 {
+        let mut cleaned = 0;
+        for page in start..end.min(self.dirty.len() as u64 * PAGES_PER_WORD) {
+            let (w, b) = ((page / PAGES_PER_WORD) as usize, page % PAGES_PER_WORD);
+            if self.dirty[w] & (1 << b) != 0 {
+                self.dirty[w] &= !(1 << b);
+                cleaned += 1;
+            }
+        }
+        self.dirty_pages -= cleaned;
+        if self.dirty_pages == 0 {
+            self.dirty_since_ns = 0;
+        }
+        cleaned
+    }
+
+    /// Maximal runs of dirty pages — the write-back daemon's flush list.
+    pub fn dirty_runs(&self) -> Vec<PageRange> {
+        let mut runs = Vec::new();
+        let mut run_start = None;
+        for (w, &word) in self.dirty.iter().enumerate() {
+            if word == 0 {
+                if let Some(s) = run_start.take() {
+                    runs.push((s, w as u64 * PAGES_PER_WORD));
+                }
+                continue;
+            }
+            for b in 0..PAGES_PER_WORD {
+                let page = w as u64 * PAGES_PER_WORD + b;
+                if word & (1 << b) != 0 {
+                    if run_start.is_none() {
+                        run_start = Some(page);
+                    }
+                } else if let Some(s) = run_start.take() {
+                    runs.push((s, page));
+                }
+            }
+        }
+        if let Some(s) = run_start {
+            runs.push((s, self.dirty.len() as u64 * PAGES_PER_WORD));
+        }
+        runs
+    }
+
+    /// Virtual time the oldest still-dirty page was dirtied, or 0 when the
+    /// file is clean.
+    pub fn dirty_since_ns(&self) -> u64 {
+        self.dirty_since_ns
     }
 
     /// Removes `[start, end)` from the cache. Returns `(removed, dirty)`
@@ -337,6 +396,9 @@ impl CacheState {
         }
         self.resident -= removed;
         self.dirty_pages -= dirty;
+        if self.dirty_pages == 0 {
+            self.dirty_since_ns = 0;
+        }
         (removed, dirty)
     }
 
@@ -353,6 +415,9 @@ impl CacheState {
         self.speculative[widx] = 0;
         self.resident -= removed;
         self.dirty_pages -= dirty;
+        if self.dirty_pages == 0 {
+            self.dirty_since_ns = 0;
+        }
         (removed, dirty)
     }
 
@@ -487,18 +552,37 @@ mod tests {
     fn dirty_lifecycle() {
         let mut cache = CacheState::default();
         cache.insert_range(0, 10, 0, 0);
-        assert_eq!(cache.mark_dirty(0, 4), 4);
-        assert_eq!(cache.mark_dirty(2, 6), 2);
+        assert_eq!(cache.mark_dirty(0, 4, 100), 4);
+        assert_eq!(cache.mark_dirty(2, 6, 200), 2);
         assert_eq!(cache.dirty_pages(), 6);
+        // The deadline anchor is the *oldest* dirtying time.
+        assert_eq!(cache.dirty_since_ns(), 100);
         assert_eq!(cache.clear_dirty(), 6);
         assert_eq!(cache.dirty_pages(), 0);
+        assert_eq!(cache.dirty_since_ns(), 0);
+    }
+
+    #[test]
+    fn dirty_runs_and_range_clear() {
+        let mut cache = CacheState::default();
+        cache.insert_range(0, 200, 0, 0);
+        cache.mark_dirty(3, 10, 50);
+        cache.mark_dirty(10, 12, 60); // adjacent: one run
+        cache.mark_dirty(70, 130, 70); // crosses word boundaries
+        assert_eq!(cache.dirty_runs(), vec![(3, 12), (70, 130)]);
+        assert_eq!(cache.clear_dirty_range(3, 12), 9);
+        assert_eq!(cache.dirty_runs(), vec![(70, 130)]);
+        assert_eq!(cache.dirty_since_ns(), 50); // anchor persists until clean
+        assert_eq!(cache.clear_dirty_range(0, 1_000), 60);
+        assert_eq!(cache.dirty_since_ns(), 0);
+        assert_eq!(cache.dirty_runs(), vec![]);
     }
 
     #[test]
     fn remove_range_returns_dirty_count() {
         let mut cache = CacheState::default();
         cache.insert_range(0, 10, 0, 0);
-        cache.mark_dirty(0, 3);
+        cache.mark_dirty(0, 3, 10);
         let (removed, dirty) = cache.remove_range(0, 5);
         assert_eq!((removed, dirty), (5, 3));
         assert_eq!(cache.resident(), 5);

@@ -1,6 +1,46 @@
 //! OS-level configuration.
 
-use simclock::{CostModel, NS_PER_SEC};
+use simclock::{CostModel, NS_PER_MS, NS_PER_SEC};
+
+/// Write-back daemon tunables (CAWL-style cache-aware write-back: writes
+/// absorb into the page cache and are flushed in coalesced runs when
+/// dirty-ratio thresholds or virtual-time deadlines force it).
+///
+/// `None` on [`OsConfig::writeback`] keeps the legacy behaviour —
+/// byte-identical telemetry — where dirty pages flush only at the global
+/// hard limit, `fsync`, reclaim, and cache-drop paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WritebackConfig {
+    /// Per-file dirty pages that trigger a background flush of that file.
+    pub file_dirty_threshold_pages: u64,
+    /// Global dirty pages that trigger a background sweep of the oldest
+    /// dirty files (softer than [`OsConfig::dirty_limit_pages`], which
+    /// remains the hard synchronous limit).
+    pub background_dirty_pages: u64,
+    /// Virtual-time deadline: a file whose oldest dirty page is older than
+    /// this is flushed on the next daemon tick (Linux's 30 s
+    /// `dirty_expire_centisecs` scaled to simulation time).
+    pub dirty_deadline_ns: u64,
+    /// Merge dirty runs separated by at most this many clean-but-present
+    /// pages into one device write (the gap pages ride along), trading a
+    /// few extra bytes for strictly fewer write crossings.
+    pub coalesce_gap_pages: u64,
+    /// Flush every write synchronously instead of absorbing — the
+    /// write-through comparison baseline for the coalescing gate.
+    pub write_through: bool,
+}
+
+impl Default for WritebackConfig {
+    fn default() -> Self {
+        Self {
+            file_dirty_threshold_pages: 1024,
+            background_dirty_pages: 2048,
+            dirty_deadline_ns: 500 * NS_PER_MS,
+            coalesce_gap_pages: 8,
+            write_through: false,
+        }
+    }
+}
 
 /// Tunables of the simulated OS.
 #[derive(Debug, Clone)]
@@ -32,6 +72,9 @@ pub struct OsConfig {
     /// to blind `readahead(2)`. The infallible `readahead_info` ignores
     /// this flag.
     pub readahead_info_supported: bool,
+    /// Opt-in write-back daemon; `None` (default) keeps the legacy flush
+    /// behaviour byte-identical.
+    pub writeback: Option<WritebackConfig>,
     /// Shards for the inode-cache and descriptor registries
     /// ([`crate::shard::ShardedMap`]). Shard count never affects simulated
     /// timing or telemetry counters — only real-lock contention between
@@ -62,6 +105,7 @@ impl Default for OsConfig {
             fault_around_pages: 16,
             inactive_after_ns: 30 * NS_PER_SEC,
             per_inode_lru: false,
+            writeback: None,
             readahead_info_supported: true,
             registry_shards: 4,
             costs: CostModel::default(),

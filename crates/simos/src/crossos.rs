@@ -255,17 +255,16 @@ impl Os {
                 while cursor < e {
                     let upto = (cursor + chunk_pages).min(e);
                     let before = io_clock.now();
-                    for run in self.fs().map_blocks(entry.ino, cursor, upto - cursor) {
-                        // All-or-nothing: nothing has been inserted or
-                        // published yet, so propagating here leaves the
-                        // bitmap and tree exactly as before the call.
-                        F::charge_read(
-                            self.device(),
-                            &mut io_clock,
-                            run.blocks,
-                            IoPriority::Prefetch,
-                        )?;
-                    }
+                    // All-or-nothing: nothing has been inserted or
+                    // published yet, so propagating here leaves the
+                    // bitmap and tree exactly as before the call.
+                    self.charge_read_runs::<F>(
+                        &mut io_clock,
+                        entry.ino,
+                        cursor,
+                        upto - cursor,
+                        IoPriority::Prefetch,
+                    )?;
                     push_interpolated_ready(&mut chunk_ready, cursor, upto, before, io_clock.now());
                     cursor = upto;
                 }
@@ -592,21 +591,61 @@ impl Os {
                     continue;
                 }
 
-                // One vectored submission carries the run's physical block
-                // runs: one fixed latency, one congestion check, one fault
-                // draw for the whole merged run.
-                let mut block_runs: Vec<u64> = Vec::new();
-                for &(s, e) in &scheduled {
-                    for blk in self.fs().map_blocks(ino, s, e - s) {
-                        block_runs.push(blk.blocks);
+                // One vectored submission per device carries the run's
+                // physical block runs: one fixed latency, one congestion
+                // check, one fault draw per device touched (a single
+                // submission on the un-tiered path).
+                let before = io_clock.now();
+                let mut vec_fault = false;
+                match self.tiered() {
+                    None => {
+                        let mut block_runs: Vec<u64> = Vec::new();
+                        for &(s, e) in &scheduled {
+                            for blk in self.fs().map_blocks(ino, s, e - s) {
+                                block_runs.push(blk.blocks);
+                            }
+                        }
+                        vec_fault = self
+                            .device()
+                            .try_charge_read_vectored(
+                                &mut io_clock,
+                                &block_runs,
+                                IoPriority::Prefetch,
+                            )
+                            .is_err();
+                    }
+                    Some(tiered) => {
+                        let mut local_runs: Vec<u64> = Vec::new();
+                        let mut remote_runs: Vec<u64> = Vec::new();
+                        for &(s, e) in &scheduled {
+                            for (ts, tc, tier) in tiered.split_runs(ino.0, s, e - s) {
+                                let dst = match tier {
+                                    simstore::Tier::Local => &mut local_runs,
+                                    simstore::Tier::Remote => &mut remote_runs,
+                                };
+                                for blk in self.fs().map_blocks(ino, ts, tc) {
+                                    dst.push(blk.blocks);
+                                }
+                            }
+                        }
+                        for (device, runs) in [
+                            (tiered.local(), &local_runs),
+                            (tiered.remote(), &remote_runs),
+                        ] {
+                            if runs.is_empty() {
+                                continue;
+                            }
+                            if device
+                                .try_charge_read_vectored(&mut io_clock, runs, IoPriority::Prefetch)
+                                .is_err()
+                            {
+                                vec_fault = true;
+                                break;
+                            }
+                        }
                     }
                 }
-                let before = io_clock.now();
-                if self
-                    .device()
-                    .try_charge_read_vectored(&mut io_clock, &block_runs, IoPriority::Prefetch)
-                    .is_err()
-                {
+                if vec_fault {
                     // Per-run all-or-nothing: nothing of this run is
                     // inserted or published; its members learn via the
                     // completion queue and may retry individually.

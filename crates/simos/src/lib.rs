@@ -56,7 +56,7 @@ mod stats;
 pub mod trace;
 
 pub use cache::PrefetchQuality;
-pub use config::OsConfig;
+pub use config::{OsConfig, WritebackConfig};
 pub use crossos::{
     bitmap_has_page, RaBatchCompletion, RaBatchEntry, RaInfo, RaInfoRequest, ReadBatchEntry,
     ReadBatchResult,
@@ -70,4 +70,6 @@ pub use trace::{OsSpanKind, OsTraceEvent, OsTraceSink};
 
 // Re-exports so downstream crates name one coherent surface.
 pub use simfs::{FileSystem, FsError, FsKind, InodeId};
-pub use simstore::{Device, DeviceConfig, DeviceError, FaultPlan, IoPriority};
+pub use simstore::{
+    Device, DeviceConfig, DeviceError, FaultPlan, IoPriority, Tier, TierStats, TieredStore,
+};

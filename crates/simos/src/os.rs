@@ -5,7 +5,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 use simclock::{FcfsResource, GlobalClock, ThreadClock};
 use simfs::{FileSystem, FsError, InodeId};
-use simstore::{Device, IoPriority, BLOCK_SIZE};
+use simstore::{Device, IoPriority, TieredStore, BLOCK_SIZE};
 
 use crate::cache::InodeCache;
 use crate::error::IoError;
@@ -154,7 +154,13 @@ pub struct ReadOutcome {
 #[derive(Debug)]
 pub struct Os {
     config: OsConfig,
+    /// The device demand I/O lands on by default. In tiered mode this is
+    /// the *local* tier; routed charge sites consult the placement map and
+    /// may redirect individual extents to the remote device instead.
     device: Arc<Device>,
+    /// Two-tier composition when booted via [`Os::new_tiered`]; `None`
+    /// keeps every charge site byte-identical to the single-device OS.
+    tiered: Option<Arc<TieredStore>>,
     fs: Arc<FileSystem>,
     global: Arc<GlobalClock>,
     caches: ShardedMap<Arc<InodeCache>>,
@@ -176,11 +182,29 @@ pub struct Os {
 impl Os {
     /// Boots an OS over a device and filesystem.
     pub fn new(config: OsConfig, device: Device, fs: FileSystem) -> Arc<Self> {
+        Self::boot(config, Arc::new(device), None, fs)
+    }
+
+    /// Boots an OS over a two-tier store. Demand I/O defaults to the fast
+    /// local device; charge sites route per-extent through the placement
+    /// map, so blocks not (yet) promoted are served by the remote tier.
+    pub fn new_tiered(config: OsConfig, tiered: TieredStore, fs: FileSystem) -> Arc<Self> {
+        let tiered = Arc::new(tiered);
+        Self::boot(config, Arc::clone(tiered.local()), Some(tiered), fs)
+    }
+
+    fn boot(
+        config: OsConfig,
+        device: Arc<Device>,
+        tiered: Option<Arc<TieredStore>>,
+        fs: FileSystem,
+    ) -> Arc<Self> {
         let mem = MemoryManager::new(config.memory_budget_pages);
         let shards = config.registry_shards;
         Arc::new(Self {
             config,
-            device: Arc::new(device),
+            device,
+            tiered,
             fs: Arc::new(fs),
             global: Arc::new(GlobalClock::new()),
             caches: ShardedMap::new(shards),
@@ -225,9 +249,14 @@ impl Os {
         &self.config
     }
 
-    /// The storage device.
+    /// The storage device (the local tier when booted tiered).
     pub fn device(&self) -> &Arc<Device> {
         &self.device
+    }
+
+    /// The two-tier store, when booted via [`Os::new_tiered`].
+    pub fn tiered(&self) -> Option<&Arc<TieredStore>> {
+        self.tiered.as_ref()
     }
 
     /// The filesystem.
@@ -368,6 +397,12 @@ impl Os {
         let (removed, dirty) = cache.state.write().remove_range(0, u64::MAX / 2);
         self.mem.note_removed(removed);
         self.mem.note_cleaned(dirty);
+        // Unlink honestly drops dirty data without device I/O — the only
+        // path that closes the dirty ledger without a write-back.
+        self.stats.dropped_dirty_pages.add(dirty);
+        if let Some(tiered) = &self.tiered {
+            tiered.forget_file(ino.0, &|f, lb| self.fs.map_block(InodeId(f), lb));
+        }
         Ok(())
     }
 
@@ -413,6 +448,44 @@ impl Os {
     /// Size in bytes of the file behind `fd`.
     pub fn file_size(&self, fd: Fd) -> u64 {
         self.fs.size(self.fd_inode(fd))
+    }
+
+    /// Charges device reads for `pages` logical pages of `ino` starting at
+    /// `lstart`, one charge per physical extent. Single-device mode is the
+    /// historical inline loop; tiered mode first splits the range into
+    /// maximal same-tier runs, so one logical read may cross both devices,
+    /// and stamps the placement map's touch clock on success (promotion
+    /// payoff / demotion recency).
+    pub(crate) fn charge_read_runs<F: FaultMode>(
+        &self,
+        clock: &mut ThreadClock,
+        ino: InodeId,
+        lstart: u64,
+        pages: u64,
+        priority: IoPriority,
+    ) -> Result<(), F::Error> {
+        match &self.tiered {
+            None => {
+                for run in self.fs.map_blocks(ino, lstart, pages) {
+                    F::charge_read(&self.device, clock, run.blocks, priority)?;
+                }
+            }
+            Some(tiered) => {
+                for (s, c, tier) in tiered.split_runs(ino.0, lstart, pages) {
+                    for run in self.fs.map_blocks(ino, s, c) {
+                        F::charge_read(tiered.device(tier), clock, run.blocks, priority)?;
+                    }
+                }
+                // Only a demand read counts as the application touching the
+                // range — prefetch passing over a promoted block must not
+                // clear its promoted-unread bit (that would launder wasted
+                // promotions into useful ones).
+                if priority == IoPriority::Blocking {
+                    tiered.note_read(ino.0, lstart, pages, clock.now());
+                }
+            }
+        }
+        Ok(())
     }
 
     // ----- read path ------------------------------------------------------
@@ -591,15 +664,9 @@ impl Os {
             let wait = ready_at.saturating_sub(clock.now());
             if wait > bypass_threshold {
                 let t0 = clock.now();
-                let mut bypass_ok = true;
-                for run in self.fs.map_blocks(entry.ino, p0, pages) {
-                    if F::charge_read(&self.device, clock, run.blocks, IoPriority::Blocking)
-                        .is_err()
-                    {
-                        bypass_ok = false;
-                        break;
-                    }
-                }
+                let bypass_ok = self
+                    .charge_read_runs::<F>(clock, entry.ino, p0, pages, IoPriority::Blocking)
+                    .is_ok();
                 if bypass_ok {
                     let now = clock.now();
                     cache.state.write().lower_ready(p0, p1, now);
@@ -641,14 +708,16 @@ impl Os {
             let mut inserted = 0;
             let mut filled: Vec<(u64, u64)> = Vec::new();
             let mut fault: Option<F::Error> = None;
-            'fill: for &(mstart, mend) in &missing {
-                for run in self.fs.map_blocks(entry.ino, mstart, mend - mstart) {
-                    if let Err(err) =
-                        F::charge_read(&self.device, clock, run.blocks, IoPriority::Blocking)
-                    {
-                        fault = Some(err);
-                        break 'fill;
-                    }
+            for &(mstart, mend) in &missing {
+                if let Err(err) = self.charge_read_runs::<F>(
+                    clock,
+                    entry.ino,
+                    mstart,
+                    mend - mstart,
+                    IoPriority::Blocking,
+                ) {
+                    fault = Some(err);
+                    break;
                 }
                 inserted += mend - mstart;
                 filled.push((mstart, mend));
@@ -798,14 +867,13 @@ impl Os {
             while cursor < mend {
                 let upto = (cursor + chunk_pages).min(mend);
                 let before = io_clock.now();
-                for run in self.fs.map_blocks(ino, cursor, upto - cursor) {
-                    F::charge_read(
-                        &self.device,
-                        &mut io_clock,
-                        run.blocks,
-                        IoPriority::Prefetch,
-                    )?;
-                }
+                self.charge_read_runs::<F>(
+                    &mut io_clock,
+                    ino,
+                    cursor,
+                    upto - cursor,
+                    IoPriority::Prefetch,
+                )?;
                 crate::crossos::push_interpolated_ready(
                     &mut chunk_ready,
                     cursor,
@@ -851,7 +919,11 @@ impl Os {
             let within = (abs % PAGE_SIZE) as usize;
             let take = (PAGE_SIZE as usize - within).min(out.len() - done);
             let pblock = self.fs.map_block(ino, lblock);
-            let block = self.device.store().read_block_vec(pblock);
+            let device = match &self.tiered {
+                Some(tiered) => tiered.device(tiered.tier_of(ino.0, lblock)),
+                None => &self.device,
+            };
+            let block = device.store().read_block_vec(pblock);
             out[done..done + take].copy_from_slice(&block[within..within + take]);
             done += take;
         }
@@ -867,8 +939,17 @@ impl Os {
             let within = (abs % PAGE_SIZE) as usize;
             let take = (PAGE_SIZE as usize - within).min(data.len() - done);
             let pblock = self.fs.map_block(ino, lblock);
-            self.device
-                .store_partial(pblock, within, &data[done..done + take]);
+            let device = match &self.tiered {
+                Some(tiered) => {
+                    // Writes land on the tier holding the block — no write
+                    // allocation. A local-placed block picks up its
+                    // modified bit here so demotion copies it back.
+                    let tier = tiered.note_block_written(ino.0, lblock, self.global.now());
+                    tiered.device(tier)
+                }
+                None => &self.device,
+            };
+            device.store_partial(pblock, within, &data[done..done + take]);
             done += take;
         }
     }
@@ -884,12 +965,42 @@ impl Os {
 
     /// The charging half of the write path.
     pub fn write_charge(&self, clock: &mut ThreadClock, fd: Fd, offset: u64, len: u64) -> u64 {
+        into_ok(self.write_charge_impl::<NeverFault>(clock, fd, offset, len))
+    }
+
+    /// Fallible variant of [`Os::write_charge`]: the read-modify-write
+    /// head/tail demand reads consult the fault plan. On an injected fault
+    /// nothing is inserted or dirtied — a retry redoes the whole write.
+    /// The absorbed write itself never fails (write-back happens later,
+    /// off the caller's syscall).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::Io`] when the fault plan injects an EIO into the
+    /// RMW demand read.
+    pub fn try_write_charge(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, IoError> {
+        self.write_charge_impl::<MayFault>(clock, fd, offset, len)
+    }
+
+    fn write_charge_impl<F: FaultMode>(
+        &self,
+        clock: &mut ThreadClock,
+        fd: Fd,
+        offset: u64,
+        len: u64,
+    ) -> Result<u64, F::Error> {
         let costs = &self.config.costs;
         clock.advance(costs.syscall_ns);
         self.stats.syscalls.incr();
         self.stats.writes.incr();
         if len == 0 {
-            return 0;
+            return Ok(0);
         }
         let entry = self.fd_entry(fd);
         let cache = self.cache(entry.ino);
@@ -908,9 +1019,11 @@ impl Os {
         };
         for (is_missing, page) in [(head_missing, p0), (tail_missing, p1 - 1)] {
             if is_missing {
-                for run in self.fs.map_blocks(entry.ino, page, 1) {
-                    self.device
-                        .charge_read(clock, run.blocks, IoPriority::Blocking);
+                if let Err(err) =
+                    self.charge_read_runs::<F>(clock, entry.ino, page, 1, IoPriority::Blocking)
+                {
+                    self.stats.demand_read_errors.incr();
+                    return Err(err);
                 }
             }
         }
@@ -923,10 +1036,11 @@ impl Os {
         let (newly, dirtied) = {
             let mut state = cache.state.write();
             let newly = state.insert_range(p0, p1, now, 0);
-            let dirtied = state.mark_dirty(p0, p1);
+            let dirtied = state.mark_dirty(p0, p1, now);
             (newly, dirtied)
         };
         self.mem.note_dirtied(dirtied);
+        self.stats.dirtied_pages.add(dirtied);
         clock.advance(costs.copy_pages_ns(pages));
         self.stats.bytes_written.add(len);
         self.fs.set_size(entry.ino, offset + len);
@@ -934,28 +1048,176 @@ impl Os {
             self.reclaim(clock);
         }
 
-        // Dirty throttling: force background writeback past the limit.
-        if self.mem.dirty() > self.config.dirty_limit_pages {
-            self.writeback_file(clock, entry.ino, false);
+        match &self.config.writeback {
+            // Legacy dirty throttling: force background writeback of the
+            // whole file past the hard limit. Byte-identical to the
+            // pre-daemon behaviour.
+            None => {
+                if self.mem.dirty() > self.config.dirty_limit_pages
+                    && self.writeback_file(clock, entry.ino, false) > 0
+                {
+                    self.stats.wb_flush_threshold.incr();
+                }
+            }
+            Some(wb) => {
+                if wb.write_through {
+                    if self.writeback_file(clock, entry.ino, true) > 0 {
+                        self.stats.wb_flush_sync.incr();
+                    }
+                } else {
+                    let file_dirty = cache.state.read().dirty_pages();
+                    if file_dirty >= wb.file_dirty_threshold_pages {
+                        // Per-file threshold: background flush of this file.
+                        if self.writeback_file(clock, entry.ino, false) > 0 {
+                            self.stats.wb_flush_threshold.incr();
+                        }
+                    } else if self.mem.dirty() > self.config.dirty_limit_pages {
+                        // Hard global limit: the writer pays, synchronously.
+                        if self.writeback_file(clock, entry.ino, true) > 0 {
+                            self.stats.wb_flush_threshold.incr();
+                        }
+                    }
+                    self.writeback_tick(clock);
+                }
+            }
         }
-        len
+        Ok(len)
     }
 
-    /// Flushes a file's dirty pages. `sync` waits for completion (fsync);
-    /// otherwise the device work detaches from the caller's clock.
-    pub fn writeback_file(&self, clock: &mut ThreadClock, ino: InodeId, sync: bool) {
+    /// Flushes a file's dirty pages, returning the count flushed. `sync`
+    /// waits for completion (fsync); otherwise the device work detaches
+    /// from the caller's clock. With a write-back daemon configured or a
+    /// tiered store present this flushes run-by-run (gap coalescing,
+    /// per-tier routing); otherwise it keeps the legacy one-charge shape.
+    pub fn writeback_file(&self, clock: &mut ThreadClock, ino: InodeId, sync: bool) -> u64 {
+        if self.config.writeback.is_some() || self.tiered.is_some() {
+            return self.writeback_file_runs(clock, ino, sync);
+        }
         let cache = self.cache(ino);
         let dirty = cache.state.write().clear_dirty();
         if dirty == 0 {
-            return;
+            return 0;
         }
         self.mem.note_cleaned(dirty);
+        self.stats.written_back_pages.add(dirty);
         if sync {
             self.device.charge_write(clock, dirty, IoPriority::Blocking);
         } else {
             let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
             self.device
                 .charge_write(&mut io_clock, dirty, IoPriority::Prefetch);
+        }
+        dirty
+    }
+
+    /// Run-based flush: clears the file's dirty runs, merging runs whose
+    /// clean gap is at most `coalesce_gap_pages` into one device crossing
+    /// (the gap pages ride along as extra bytes — strictly fewer write
+    /// requests for a few redundant writes). Tiered mode routes each
+    /// merged run's extents to the device currently holding them. Returns
+    /// the dirty pages flushed.
+    pub fn writeback_file_runs(&self, clock: &mut ThreadClock, ino: InodeId, sync: bool) -> u64 {
+        let gap = self
+            .config
+            .writeback
+            .as_ref()
+            .map_or(0, |wb| wb.coalesce_gap_pages);
+        let cache = self.cache(ino);
+        let (runs, dirty) = {
+            let mut state = cache.state.write();
+            let runs = state.dirty_runs();
+            let mut dirty = 0;
+            for &(s, e) in &runs {
+                dirty += state.clear_dirty_range(s, e);
+            }
+            (runs, dirty)
+        };
+        if dirty == 0 {
+            return 0;
+        }
+        self.mem.note_cleaned(dirty);
+        self.stats.written_back_pages.add(dirty);
+
+        // Gap-coalesce adjacent runs into single crossings.
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for &(s, e) in &runs {
+            match merged.last_mut() {
+                Some(last) if s - last.1 <= gap => {
+                    self.stats.wb_runs_coalesced.incr();
+                    last.1 = e;
+                }
+                _ => merged.push((s, e)),
+            }
+        }
+
+        let priority = if sync {
+            IoPriority::Blocking
+        } else {
+            IoPriority::Prefetch
+        };
+        let mut detached =
+            (!sync).then(|| ThreadClock::detached_at(Arc::clone(&self.global), clock.now()));
+        let io: &mut ThreadClock = match detached.as_mut() {
+            Some(io) => io,
+            None => clock,
+        };
+        let t0 = io.now();
+        for &(s, e) in &merged {
+            match &self.tiered {
+                None => {
+                    self.stats.wb_runs_flushed.incr();
+                    self.device.charge_write(io, e - s, priority);
+                }
+                Some(tiered) => {
+                    for (_, count, tier) in tiered.split_runs(ino.0, s, e - s) {
+                        self.stats.wb_runs_flushed.incr();
+                        tiered.device(tier).charge_write(io, count, priority);
+                    }
+                }
+            }
+        }
+        if io.now() > t0 {
+            if let Some(sink) = self.span_sink() {
+                sink.emit_os_span(io.now(), OsSpanKind::WritebackFlush, io.now() - t0);
+            }
+        }
+        dirty
+    }
+
+    /// One write-back daemon pass: flushes files whose oldest dirty page
+    /// has outlived the virtual-time deadline, then — while global dirty
+    /// occupancy exceeds the soft background threshold — sweeps the
+    /// longest-dirty files first. A no-op without a [`WritebackConfig`].
+    /// The write path calls this after every absorbed write; long-running
+    /// harnesses may also tick it explicitly.
+    pub fn writeback_tick(&self, clock: &mut ThreadClock) {
+        let Some(wb) = &self.config.writeback else {
+            return;
+        };
+        let now = clock.now();
+        let mut dirty_files: Vec<(u64, InodeId)> = Vec::new();
+        for cache in self.all_caches() {
+            let state = cache.state.read();
+            if state.dirty_pages() > 0 {
+                dirty_files.push((state.dirty_since_ns(), cache.ino));
+            }
+        }
+        dirty_files.sort_unstable();
+        for &(since, ino) in &dirty_files {
+            if since != 0
+                && since.saturating_add(wb.dirty_deadline_ns) <= now
+                && self.writeback_file_runs(clock, ino, false) > 0
+            {
+                self.stats.wb_flush_deadline.incr();
+            }
+        }
+        for &(_, ino) in &dirty_files {
+            if self.mem.dirty() <= wb.background_dirty_pages {
+                break;
+            }
+            if self.writeback_file_runs(clock, ino, false) > 0 {
+                self.stats.wb_flush_threshold.incr();
+            }
         }
     }
 
@@ -964,7 +1226,9 @@ impl Os {
         clock.advance(self.config.costs.syscall_ns);
         self.stats.syscalls.incr();
         let ino = self.fd_inode(fd);
-        self.writeback_file(clock, ino, true);
+        if self.writeback_file(clock, ino, true) > 0 {
+            self.stats.wb_flush_sync.incr();
+        }
     }
 
     // ----- prefetch control syscalls ---------------------------------------
@@ -1016,6 +1280,96 @@ impl Os {
         let cap = entry.ra.lock().effective_max();
         let capped = pages.min(cap);
         self.try_prefetch_via_tree(clock, entry.ino, &cache, start, capped)
+    }
+
+    /// Promotes the remote-placed blocks of `[start, start+pages)` to the
+    /// local tier and publishes the copied pages into the page cache as
+    /// prefetched — the promotion read already pulled the bytes through
+    /// memory, so no second device read is charged for the insert. Returns
+    /// the pages newly inserted; callers bill them as initiated prefetch
+    /// so the quality-ledger identity keeps holding. `Ok(0)` without a
+    /// tiered store, when the range is already local, or when the local
+    /// tier cannot make room even after demoting its coldest words.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the remote tier's injected fault. Runs copied before the
+    /// fault stay promoted at the device level (the placement map never
+    /// holds a half-copied run), but nothing is inserted into the page
+    /// cache — no speculative page goes unbilled.
+    pub fn try_promote_range(
+        &self,
+        clock: &mut ThreadClock,
+        ino: InodeId,
+        start: u64,
+        pages: u64,
+    ) -> Result<u64, IoError> {
+        let Some(tiered) = &self.tiered else {
+            return Ok(0);
+        };
+        let costs = &self.config.costs;
+        let file_pages = self.fs.size(ino).div_ceil(PAGE_SIZE);
+        let end = (start + pages).min(file_pages);
+        if start >= end {
+            return Ok(0);
+        }
+        let map = |f: u64, lb: u64| self.fs.map_block(InodeId(f), lb);
+        let work = tiered.remote_runs(ino.0, start, end - start);
+        let want: u64 = work.iter().map(|&(_, c)| c).sum();
+        if want == 0 {
+            return Ok(0);
+        }
+        if !tiered.ensure_room(clock, want, &map) {
+            return Ok(0);
+        }
+        let t0 = clock.now();
+        let mut copied: Vec<(u64, u64)> = Vec::new();
+        let mut fault: Option<IoError> = None;
+        for &(rs, rc) in &work {
+            let phys: Vec<(u64, u64)> = self
+                .fs
+                .map_blocks(ino, rs, rc)
+                .iter()
+                .map(|run| (run.pstart, run.blocks))
+                .collect();
+            match tiered.try_promote(clock, ino.0, rs, rc, &phys) {
+                Ok(_) => copied.push((rs, rc)),
+                Err(err) => {
+                    fault = Some(IoError::from(err));
+                    break;
+                }
+            }
+        }
+        if clock.now() > t0 {
+            if let Some(sink) = self.span_sink() {
+                sink.emit_os_span(clock.now(), OsSpanKind::TierPromote, clock.now() - t0);
+            }
+        }
+        if let Some(err) = fault {
+            return Err(err);
+        }
+        let total: u64 = copied.iter().map(|&(_, c)| c).sum();
+        if total == 0 {
+            return Ok(0);
+        }
+        let cache = self.cache(ino);
+        let hold = costs.tree_insert_per_page_ns * total + costs.page_alloc_ns * total;
+        let access = cache.tree_lock.write(clock.now(), hold);
+        clock.advance_to(access.end_ns);
+        let touch = clock.now() + crate::crossos::PREFETCH_TOUCH_BIAS_NS;
+        let ready = clock.now();
+        let mut newly = 0;
+        {
+            let mut state = cache.state.write();
+            for &(rs, rc) in &copied {
+                newly += state.insert_range_prefetched(rs, rs + rc, touch, ready);
+            }
+        }
+        self.stats.prefetched_pages.add(newly);
+        if self.mem.note_inserted(newly) {
+            self.reclaim(clock);
+        }
+        Ok(newly)
     }
 
     /// `posix_fadvise(2)`.
@@ -1070,6 +1424,8 @@ impl Os {
                 self.mem.note_removed(removed);
                 self.mem.note_cleaned(dirty);
                 if dirty > 0 {
+                    self.stats.written_back_pages.add(dirty);
+                    self.stats.wb_flush_drop.incr();
                     let mut io_clock =
                         ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
                     self.device
@@ -1151,6 +1507,8 @@ impl Os {
             dirty_total += dirty;
         }
         if dirty_total > 0 {
+            self.stats.written_back_pages.add(dirty_total);
+            self.stats.wb_flush_drop.incr();
             self.device
                 .charge_write(clock, dirty_total, IoPriority::Blocking);
         }
@@ -1223,6 +1581,8 @@ impl Os {
             );
         }
         if dirty_total > 0 {
+            self.stats.written_back_pages.add(dirty_total);
+            self.stats.wb_flush_drop.incr();
             let mut io_clock = ThreadClock::detached_at(Arc::clone(&self.global), clock.now());
             self.device
                 .charge_write(&mut io_clock, dirty_total, IoPriority::Prefetch);

@@ -56,6 +56,33 @@ pub struct OsStats {
     pub lock_wait_hist: Histogram,
     /// Distribution of reclaim-pass scan time.
     pub reclaim_scan_hist: Histogram,
+
+    // ----- dirty-page ledger -------------------------------------------
+    // Invariant: `dirtied_pages == written_back_pages + dropped_dirty_pages
+    // + <currently dirty>` — every dirtied page is eventually written back
+    // or honestly dropped (unlink discards dirty data without device I/O).
+    /// Pages the write path newly dirtied.
+    pub dirtied_pages: Counter,
+    /// Dirty pages flushed to a device (any flush path).
+    pub written_back_pages: Counter,
+    /// Dirty pages discarded without write-back (`unlink`).
+    pub dropped_dirty_pages: Counter,
+
+    // ----- write-back flush accounting ---------------------------------
+    /// Flushes forced by dirty thresholds (per-file, background-global, or
+    /// the hard dirty limit).
+    pub wb_flush_threshold: Counter,
+    /// Flushes forced by a virtual-time dirty deadline.
+    pub wb_flush_deadline: Counter,
+    /// Synchronous flushes (`fsync`, write-through).
+    pub wb_flush_sync: Counter,
+    /// Flushes riding eviction paths (`fadvise(DONTNEED)`, `drop_caches`,
+    /// reclaim).
+    pub wb_flush_drop: Counter,
+    /// Device write crossings issued by run-based flushing.
+    pub wb_runs_flushed: Counter,
+    /// Adjacent dirty runs merged into one crossing by gap coalescing.
+    pub wb_runs_coalesced: Counter,
 }
 
 #[cfg(test)]

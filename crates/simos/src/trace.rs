@@ -76,6 +76,13 @@ pub enum OsSpanKind {
     DevicePrefetch,
     /// One whole reclaim pass on the calling thread's clock.
     ReclaimPass,
+    /// A write-back flush's device window: synchronous (`fsync`, hard
+    /// dirty limit) flushes land on the caller's clock, daemon flushes on
+    /// a detached one.
+    WritebackFlush,
+    /// A cross-tier promotion copy (remote read + local write). Always
+    /// measured off the demand path, on a worker or detached clock.
+    TierPromote,
 }
 
 impl OsSpanKind {
@@ -88,6 +95,8 @@ impl OsSpanKind {
             OsSpanKind::DeviceRead => "os-device-read",
             OsSpanKind::DevicePrefetch => "os-device-prefetch",
             OsSpanKind::ReclaimPass => "os-reclaim-pass",
+            OsSpanKind::WritebackFlush => "os-writeback-flush",
+            OsSpanKind::TierPromote => "os-tier-promote",
         }
     }
 }

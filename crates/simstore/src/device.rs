@@ -38,6 +38,10 @@ pub struct DeviceStats {
     pub vectored_submissions: Counter,
     /// Read requests that landed inside a latency-spike window.
     pub latency_spike_requests: Counter,
+    /// Write requests carrying background (write-back / demotion) priority.
+    pub writeback_requests: Counter,
+    /// Background writes that stalled on the write congestion window.
+    pub writeback_throttled: Counter,
 }
 
 /// A simulated block device.
@@ -62,7 +66,13 @@ pub struct Device {
     /// reads — prefetch backlog cannot delay them (NVMe queues serve
     /// demand I/O with priority alongside background streams).
     read_blocking: FcfsResource,
+    /// Total write-bandwidth horizon: every write request (both classes)
+    /// occupies it, conserving device capacity.
     write_server: FcfsResource,
+    /// Blocking-only write horizon: demand writes queue only behind other
+    /// demand writes — background write-back / demotion backlog cannot
+    /// delay them (mirror of the read-side dual horizon).
+    write_blocking: FcfsResource,
     store: SparseStore,
     stats: DeviceStats,
     /// Optional deterministic misbehaviour schedule; `None` and an all-zero
@@ -87,6 +97,7 @@ impl Device {
             read_server: FcfsResource::new("device-read"),
             read_blocking: FcfsResource::new("device-read-blocking"),
             write_server: FcfsResource::new("device-write"),
+            write_blocking: FcfsResource::new("device-write-blocking"),
             store: SparseStore::new(),
             stats: DeviceStats::default(),
             faults: None,
@@ -348,16 +359,46 @@ impl Device {
     }
 
     /// Charges the virtual-time cost of writing `count` contiguous blocks.
-    pub fn charge_write(&self, clock: &mut ThreadClock, count: u64, _priority: IoPriority) {
+    ///
+    /// Priority mirrors the read side: blocking (demand) writes queue only
+    /// behind other blocking writes, then reserve the capacity on the total
+    /// horizon; background write-back / demotion shares the total horizon
+    /// and stalls on the congestion window when its backlog would otherwise
+    /// pile up in front of demand traffic.
+    pub fn charge_write(&self, clock: &mut ThreadClock, count: u64, priority: IoPriority) {
         let bytes = count * BLOCK_SIZE as u64;
         let latency = self.config.write_request_latency_ns();
+
+        if priority == IoPriority::Prefetch && bytes > 0 {
+            self.stats.writeback_requests.incr();
+            let backlog = self
+                .write_server
+                .clear_time(clock.now())
+                .saturating_sub(clock.now());
+            if backlog > self.config.prefetch_congestion_ns {
+                self.stats.writeback_throttled.incr();
+                clock.advance_to(
+                    self.write_server
+                        .clear_time(clock.now())
+                        .saturating_sub(self.config.prefetch_congestion_ns),
+                );
+            }
+        }
+
         let mut remaining = bytes;
         let mut completion = clock.now();
         let mut first = true;
         while remaining > 0 {
             let chunk = remaining.min(self.config.max_request_bytes);
             let service = transfer_ns(chunk, self.config.write_bw);
-            let access = self.write_server.access(clock.now(), service);
+            let access = match priority {
+                IoPriority::Blocking => {
+                    let access = self.write_blocking.access(clock.now(), service);
+                    self.write_server.access(access.start_ns, service);
+                    access
+                }
+                IoPriority::Prefetch => self.write_server.access(clock.now(), service),
+            };
             let lat = if first { latency } else { 0 };
             completion = completion.max(access.end_ns + lat);
             self.stats.write_requests.incr();
@@ -457,6 +498,59 @@ mod tests {
         let mut reader = clock();
         device.charge_read(&mut reader, 1, IoPriority::Blocking);
         assert_eq!(device.stats().prefetch_throttled.get(), 0);
+    }
+
+    #[test]
+    fn demand_write_p99_shielded_from_writeback_flood() {
+        // A saturating background write-back flood (issued from a detached
+        // stalled clock, like the reclaim/write-back daemons do) must not
+        // queue demand writes: they ride the blocking-only write horizon.
+        let device = Device::new(DeviceConfig::local_nvme());
+        let mut flood = clock();
+        device.charge_write(&mut flood, 200_000, IoPriority::Prefetch); // ~800 MiB
+        let backlog_clear = flood.now();
+
+        let mut demand = clock();
+        let mut worst_ns = 0u64;
+        for i in 0..100u64 {
+            let start = demand.now();
+            device.charge_write(&mut demand, 8, IoPriority::Blocking);
+            worst_ns = worst_ns.max(demand.now() - start);
+            // Space the ops out so each is an independent latency sample.
+            demand.advance(i % 7 * NS_PER_US);
+        }
+        // p99 (== worst op, deterministic single stream) stays at the
+        // unloaded cost: fixed latency + transfer, nowhere near the flood's
+        // drain time.
+        let unloaded = device.config().write_request_latency_ns()
+            + transfer_ns(8 * BLOCK_SIZE as u64, device.config().write_bw);
+        assert!(
+            worst_ns <= unloaded + NS_PER_US,
+            "demand write p99 {worst_ns}ns regressed above unloaded cost {unloaded}ns"
+        );
+        assert!(worst_ns * 100 < backlog_clear);
+    }
+
+    #[test]
+    fn background_write_queues_behind_writeback_backlog() {
+        // Background write-back shares the total horizon: once the backlog
+        // exceeds the congestion window it is stalled, exactly like
+        // prefetch reads.
+        let config = DeviceConfig::local_nvme();
+        let window = config.prefetch_congestion_ns;
+        let device = Device::new(config);
+        let mut heavy = clock();
+        device.charge_write(&mut heavy, 200_000, IoPriority::Prefetch);
+
+        let mut background = clock();
+        device.charge_write(&mut background, 1, IoPriority::Prefetch);
+        assert_eq!(device.stats().writeback_throttled.get(), 1);
+        assert!(background.now() + 2 * window >= heavy.now());
+        // Demand writes were never throttled by any of this.
+        let mut demand = clock();
+        device.charge_write(&mut demand, 1, IoPriority::Blocking);
+        assert_eq!(device.stats().writeback_throttled.get(), 1);
+        assert!(demand.now() < heavy.now() / 2);
     }
 
     #[test]

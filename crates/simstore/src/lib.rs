@@ -36,11 +36,13 @@ mod config;
 mod device;
 mod fault;
 mod store;
+mod tiered;
 
 pub use config::DeviceConfig;
 pub use device::{Device, DeviceStats, IoPriority};
 pub use fault::{DeviceError, FaultPlan};
 pub use store::SparseStore;
+pub use tiered::{Tier, TierStats, TieredStore, PLACEMENT_WORD_BLOCKS};
 
 /// Bytes per device block (and per OS page): 4 KiB.
 pub const BLOCK_SIZE: usize = 4096;

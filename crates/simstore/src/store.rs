@@ -94,6 +94,17 @@ impl SparseStore {
         self.shard(pblock).lock().remove(&pblock);
     }
 
+    /// Returns the explicitly stored content of a block, if any. Blocks
+    /// that would read back synthetic return `None` — cross-tier copies
+    /// use this to move only real data (the synthetic pattern is identical
+    /// on every device).
+    pub fn get_block(&self, pblock: u64) -> Option<Vec<u8>> {
+        self.shard(pblock)
+            .lock()
+            .get(&pblock)
+            .map(|data| data.to_vec())
+    }
+
     /// Number of blocks with explicitly stored content.
     pub fn resident_blocks(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()

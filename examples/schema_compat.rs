@@ -3,8 +3,8 @@
 //! Runs one fixed, fully deterministic single-threaded workload per
 //! Table-2 mechanism (plus the fincore baseline), exports telemetry JSON
 //! with span tracing and the completion-driven ring left at their defaults
-//! (disabled), strips the additive `spans`, `ring`, `range_index`, and
-//! `tenants` sections, and compares the result byte-for-byte against the checked-in
+//! (disabled), strips the additive `spans`, `ring`, `range_index`,
+//! `tenants`, and `tiering` sections, and compares the result byte-for-byte against the checked-in
 //! pre-span baseline (`tests/data/telemetry_schema_baseline.json`). Any
 //! other byte difference means a knob that should be inert changed the
 //! schema-v1 surface — including swapping the flat range tree for the B+
@@ -107,7 +107,8 @@ fn main() {
             let json = strip_section(&json, "spans");
             let json = strip_section(&json, "ring");
             let json = strip_section(&json, "range_index");
-            strip_section(&json, "tenants")
+            let json = strip_section(&json, "tenants");
+            strip_section(&json, "tiering")
         })
         .collect();
     let rendered = current.join("\n") + "\n";
